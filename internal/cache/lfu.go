@@ -1,0 +1,136 @@
+package cache
+
+import "container/heap"
+
+// LFU is a least-frequently-used eviction queue. Frequency counts are kept
+// per resident entry only (no ghost history), with ties broken by recency
+// (the least recently used of the least frequently used entries is evicted
+// first). It is provided as one of the baseline eviction policies the paper
+// discusses in §5.5 and Related Work.
+type LFU struct {
+	capacity int64
+	used     int64
+	items    map[string]*lfuEntry
+	heap     lfuHeap
+	tick     int64 // logical clock for recency tie-breaking
+}
+
+type lfuEntry struct {
+	key   string
+	cost  int64
+	freq  int64
+	tick  int64
+	index int // index in the heap
+}
+
+// NewLFU returns an empty LFU queue with the given capacity in cost units.
+func NewLFU(capacity int64) *LFU {
+	return &LFU{
+		capacity: capacity,
+		items:    make(map[string]*lfuEntry),
+	}
+}
+
+// Access implements Policy.
+func (l *LFU) Access(key string, cost int64) (bool, []Victim) {
+	l.tick++
+	if e, ok := l.items[key]; ok {
+		e.freq++
+		e.tick = l.tick
+		heap.Fix(&l.heap, e.index)
+		return true, nil
+	}
+	if cost > l.capacity {
+		return false, []Victim{{Key: key, Cost: cost}}
+	}
+	e := &lfuEntry{key: key, cost: cost, freq: 1, tick: l.tick}
+	l.items[key] = e
+	heap.Push(&l.heap, e)
+	l.used += cost
+	return false, l.evictOverflow(nil)
+}
+
+// Contains implements Policy.
+func (l *LFU) Contains(key string) bool {
+	_, ok := l.items[key]
+	return ok
+}
+
+// Remove implements Policy.
+func (l *LFU) Remove(key string) bool {
+	e, ok := l.items[key]
+	if !ok {
+		return false
+	}
+	heap.Remove(&l.heap, e.index)
+	delete(l.items, key)
+	l.used -= e.cost
+	return true
+}
+
+// Resize implements Policy.
+func (l *LFU) Resize(capacity int64) []Victim {
+	l.capacity = capacity
+	return l.evictOverflow(nil)
+}
+
+// Capacity implements Policy.
+func (l *LFU) Capacity() int64 { return l.capacity }
+
+// Used implements Policy.
+func (l *LFU) Used() int64 { return l.used }
+
+// Len implements Policy.
+func (l *LFU) Len() int { return len(l.items) }
+
+// Frequency returns the access count recorded for key, or 0 if absent. It is
+// intended for tests.
+func (l *LFU) Frequency(key string) int64 {
+	if e, ok := l.items[key]; ok {
+		return e.freq
+	}
+	return 0
+}
+
+func (l *LFU) evictOverflow(victims []Victim) []Victim {
+	for l.used > l.capacity && l.heap.Len() > 0 {
+		e := heap.Pop(&l.heap).(*lfuEntry)
+		delete(l.items, e.key)
+		l.used -= e.cost
+		victims = append(victims, Victim{Key: e.key, Cost: e.cost})
+	}
+	return victims
+}
+
+// lfuHeap is a min-heap ordered by (frequency, recency tick).
+type lfuHeap []*lfuEntry
+
+func (h lfuHeap) Len() int { return len(h) }
+
+func (h lfuHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].tick < h[j].tick
+}
+
+func (h lfuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *lfuHeap) Push(x any) {
+	e := x.(*lfuEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,229 @@
+// Package client is a small memcached-text-protocol client used by the load
+// generator, the examples and the end-to-end tests. It supports the subset
+// of verbs the server implements and is safe for use by one goroutine per
+// Client (the load generator opens one Client per worker connection).
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"cliffhanger/internal/protocol"
+)
+
+// Client is one connection to a cliffhanger server.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to addr with the given timeout (0 means no timeout).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	var (
+		conn net.Conn
+		err  error
+	)
+	if timeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SelectTenant switches the connection to the given tenant.
+func (c *Client) SelectTenant(name string) error {
+	if err := c.writeLine("tenant " + name); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "TENANT" {
+		return fmt.Errorf("client: unexpected tenant response %q", line)
+	}
+	return nil
+}
+
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	if _, err := fmt.Fprintf(c.w, "set %s 0 0 %d\r\n", key, len(value)); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(value); err != nil {
+		return err
+	}
+	if err := c.writeLine(""); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	ok, err := protocol.ParseResponseLine(line)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("client: set not stored: %s", line)
+	}
+	return nil
+}
+
+// Get fetches key, reporting whether it was present.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	if err := c.writeLine("get " + key); err != nil {
+		return nil, false, err
+	}
+	values, err := c.readValues()
+	if err != nil {
+		return nil, false, err
+	}
+	if v, ok := values[key]; ok {
+		return v, true, nil
+	}
+	return nil, false, nil
+}
+
+// GetMulti fetches several keys in one round trip.
+func (c *Client) GetMulti(keys []string) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return map[string][]byte{}, nil
+	}
+	if err := c.writeLine("get " + strings.Join(keys, " ")); err != nil {
+		return nil, err
+	}
+	return c.readValues()
+}
+
+// Delete removes key, reporting whether it existed.
+func (c *Client) Delete(key string) (bool, error) {
+	if err := c.writeLine("delete " + key); err != nil {
+		return false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	return protocol.ParseResponseLine(line)
+}
+
+// FlushAll clears the selected tenant.
+func (c *Client) FlushAll() error {
+	if err := c.writeLine("flush_all"); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "OK" {
+		return fmt.Errorf("client: flush_all failed: %s", line)
+	}
+	return nil
+}
+
+// Stats returns the server's STAT lines for the selected tenant.
+func (c *Client) Stats() (map[string]string, error) {
+	if err := c.writeLine("stats"); err != nil {
+		return nil, err
+	}
+	stats := make(map[string]string)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return stats, nil
+		}
+		fields := strings.SplitN(line, " ", 3)
+		if len(fields) == 3 && fields[0] == "STAT" {
+			stats[fields[1]] = fields[2]
+		} else {
+			return nil, fmt.Errorf("client: unexpected stats line %q", line)
+		}
+	}
+}
+
+// Version returns the server version string.
+func (c *Client) Version() (string, error) {
+	if err := c.writeLine("version"); err != nil {
+		return "", err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimPrefix(line, "VERSION "), nil
+}
+
+func (c *Client) writeLine(line string) error {
+	if _, err := c.w.WriteString(line + "\r\n"); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *Client) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// readValues parses the VALUE blocks of a get response until END.
+func (c *Client) readValues() (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[0] != "VALUE" {
+			return nil, fmt.Errorf("client: unexpected get response %q", line)
+		}
+		size, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("client: bad value size in %q", line)
+		}
+		data := make([]byte, size+2)
+		if _, err := readFull(c.r, data); err != nil {
+			return nil, err
+		}
+		out[fields[1]] = data[:size]
+	}
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

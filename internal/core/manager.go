@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cliffhanger/internal/cache"
+)
+
+// QueueSpec describes one queue to be managed by a Manager.
+type QueueSpec struct {
+	// ID names the queue (e.g. "class5" or "app19/class0").
+	ID string
+	// UnitCost is the typical per-item cost in bytes (the slab chunk size
+	// for slab-class queues, or an average item size for application-level
+	// queues). It sizes the item-based windows.
+	UnitCost int64
+	// InitialCapacity optionally fixes the queue's starting capacity in
+	// bytes. Zero means "an equal share of the budget".
+	InitialCapacity int64
+}
+
+// QueueSnapshot reports a queue's state for monitoring and experiments.
+type QueueSnapshot struct {
+	ID           string
+	Capacity     int64
+	Used         int64
+	Items        int
+	Credits      int64
+	Split        bool
+	Ratio        float64
+	LeftPointer  int64
+	RightPointer int64
+	Stats        QueueStats
+}
+
+// Manager runs Cliffhanger over a set of queues sharing a fixed memory
+// budget: it performs hill climbing across the queues (Algorithm 1) and each
+// queue performs cliff scaling internally (Algorithms 2 and 3). One Manager
+// corresponds to one "optimization domain" — all slab classes of one
+// application, or all applications of one server.
+type Manager struct {
+	cfg        Config
+	totalBytes int64
+	queues     []*Queue
+	byID       map[string]int
+	credits    []int64
+	rng        *rand.Rand
+}
+
+// NewManager creates a manager distributing totalBytes across the given
+// queues. Queues without an explicit InitialCapacity share the remaining
+// budget equally.
+func NewManager(cfg Config, totalBytes int64, specs []QueueSpec) (*Manager, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: manager needs at least one queue")
+	}
+	if totalBytes <= 0 {
+		return nil, fmt.Errorf("core: non-positive budget %d", totalBytes)
+	}
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:        cfg,
+		totalBytes: totalBytes,
+		byID:       make(map[string]int, len(specs)),
+		credits:    make([]int64, len(specs)),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+	}
+
+	var fixed int64
+	unfixed := 0
+	for _, s := range specs {
+		if s.InitialCapacity > 0 {
+			fixed += s.InitialCapacity
+		} else {
+			unfixed++
+		}
+	}
+	if fixed > totalBytes {
+		return nil, fmt.Errorf("core: initial capacities (%d) exceed budget (%d)", fixed, totalBytes)
+	}
+	share := int64(0)
+	if unfixed > 0 {
+		share = (totalBytes - fixed) / int64(unfixed)
+	}
+	for i, s := range specs {
+		if s.ID == "" {
+			return nil, fmt.Errorf("core: queue %d has an empty ID", i)
+		}
+		if _, dup := m.byID[s.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate queue ID %q", s.ID)
+		}
+		capacity := s.InitialCapacity
+		if capacity <= 0 {
+			capacity = share
+		}
+		if capacity < cfg.MinQueueBytes {
+			capacity = cfg.MinQueueBytes
+		}
+		q := newQueue(s.ID, cfg, capacity, s.UnitCost)
+		m.byID[s.ID] = len(m.queues)
+		m.queues = append(m.queues, q)
+	}
+	return m, nil
+}
+
+// Config returns the manager's normalized configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// TotalBytes returns the managed memory budget.
+func (m *Manager) TotalBytes() int64 { return m.totalBytes }
+
+// NumQueues returns the number of managed queues.
+func (m *Manager) NumQueues() int { return len(m.queues) }
+
+// Queue returns the managed queue with the given ID, or nil.
+func (m *Manager) Queue(id string) *Queue {
+	if i, ok := m.byID[id]; ok {
+		return m.queues[i]
+	}
+	return nil
+}
+
+// QueueIDs returns the managed queue IDs in creation order.
+func (m *Manager) QueueIDs() []string {
+	ids := make([]string, len(m.queues))
+	for i, q := range m.queues {
+		ids[i] = q.id
+	}
+	return ids
+}
+
+// Access processes one request for key belonging to the queue with the given
+// ID. cost is the item's cost in bytes (its chunk size). It returns the
+// access outcome; unknown queue IDs return a zero outcome and false.
+func (m *Manager) Access(queueID, key string, cost int64) (AccessOutcome, bool) {
+	i, ok := m.byID[queueID]
+	if !ok {
+		return AccessOutcome{}, false
+	}
+	q := m.queues[i]
+	out := q.Access(key, cost)
+	if out.ShadowHit && m.cfg.EnableHillClimbing && len(m.queues) > 1 {
+		m.transferCredit(i)
+	}
+	return out, true
+}
+
+// transferCredit implements Algorithm 1: the queue whose shadow queue was
+// hit earns CreditBytes of capacity at the expense of another queue. The
+// victim is chosen at random (the paper's policy) or as the queue with the
+// lowest credit balance (ablation). Victims already at the floor are skipped.
+func (m *Manager) transferCredit(winner int) {
+	credit := m.cfg.CreditBytes
+	victim := -1
+	switch m.cfg.VictimPolicy {
+	case VictimLowestCredit:
+		lowest := int64(0)
+		for j, q := range m.queues {
+			if j == winner {
+				continue
+			}
+			if q.Capacity()-credit < m.cfg.MinQueueBytes {
+				continue
+			}
+			if victim == -1 || m.credits[j] < lowest {
+				victim = j
+				lowest = m.credits[j]
+			}
+		}
+	default:
+		// Random victim; retry a few times if the pick cannot give memory.
+		for attempt := 0; attempt < 4 && victim == -1; attempt++ {
+			j := m.rng.Intn(len(m.queues))
+			if j == winner {
+				continue
+			}
+			if m.queues[j].Capacity()-credit < m.cfg.MinQueueBytes {
+				continue
+			}
+			victim = j
+		}
+	}
+	if victim == -1 {
+		return
+	}
+	m.credits[winner] += credit
+	m.credits[victim] -= credit
+	m.queues[winner].SetCapacity(m.queues[winner].Capacity() + credit)
+	m.queues[victim].SetCapacity(m.queues[victim].Capacity() - credit)
+}
+
+// Remove deletes key from the queue with the given ID.
+func (m *Manager) Remove(queueID, key string) bool {
+	if i, ok := m.byID[queueID]; ok {
+		return m.queues[i].Remove(key)
+	}
+	return false
+}
+
+// Contains reports whether key is physically resident in the given queue.
+func (m *Manager) Contains(queueID, key string) bool {
+	if i, ok := m.byID[queueID]; ok {
+		return m.queues[i].Contains(key)
+	}
+	return false
+}
+
+// Capacities returns the current capacity of every queue, keyed by ID.
+func (m *Manager) Capacities() map[string]int64 {
+	out := make(map[string]int64, len(m.queues))
+	for _, q := range m.queues {
+		out[q.id] = q.Capacity()
+	}
+	return out
+}
+
+// Snapshot returns per-queue state ordered by queue ID for stable output.
+func (m *Manager) Snapshot() []QueueSnapshot {
+	out := make([]QueueSnapshot, 0, len(m.queues))
+	for i, q := range m.queues {
+		lp, rp := q.Pointers()
+		out = append(out, QueueSnapshot{
+			ID:           q.id,
+			Capacity:     q.Capacity(),
+			Used:         q.Used(),
+			Items:        q.Items(),
+			Credits:      m.credits[i],
+			Split:        q.Split(),
+			Ratio:        q.Ratio(),
+			LeftPointer:  lp,
+			RightPointer: rp,
+			Stats:        q.Stats(),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// TotalStats aggregates request/hit counters across all queues.
+func (m *Manager) TotalStats() QueueStats {
+	var t QueueStats
+	for _, q := range m.queues {
+		s := q.Stats()
+		t.Requests += s.Requests
+		t.Hits += s.Hits
+		t.ShadowHits += s.ShadowHits
+		t.CliffShadowHits += s.CliffShadowHits
+		t.Evictions += s.Evictions
+		t.Resizes += s.Resizes
+	}
+	return t
+}
+
+// HitRate returns the overall hit rate across all managed queues.
+func (m *Manager) HitRate() float64 {
+	s := m.TotalStats()
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// CapacitySum returns the sum of queue capacities; hill climbing conserves
+// it (within one credit of the starting total). Exposed for invariant tests.
+func (m *Manager) CapacitySum() int64 {
+	var sum int64
+	for _, q := range m.queues {
+		sum += q.Capacity()
+	}
+	return sum
+}
+
+// Drain evicts everything from every queue and returns the victims. It is
+// used by flush operations in the store.
+func (m *Manager) Drain() []cache.Victim {
+	var all []cache.Victim
+	for _, q := range m.queues {
+		restore := q.Capacity()
+		q.SetCapacity(0)
+		all = append(all, q.ForceApplyResize()...)
+		q.SetCapacity(restore)
+		q.ForceApplyResize()
+	}
+	return all
+}

@@ -1,0 +1,698 @@
+package core
+
+import (
+	"cliffhanger/internal/cache"
+)
+
+// segment identifies where in a partition's chain a key was found.
+type segment int
+
+const (
+	segMiss segment = iota
+	segFront
+	segTail  // physical hit in the tail window ("left of pointer")
+	segCliff // hit in the cliff-scaling shadow queue ("right of pointer")
+	segHill  // hit in the hill-climbing shadow queue
+)
+
+// partition is one half of a cliff-scaled queue (Figure 5): a physical LRU
+// split into a front segment and a tail window, followed by a short
+// cliff-scaling shadow queue and a share of the hill-climbing shadow queue.
+// Keys cascade down the chain as they age: front -> tail window -> cliff
+// shadow -> hill shadow -> forgotten. Crossing the tail-window boundary is a
+// physical eviction (the caller must drop the value).
+type partition struct {
+	front *cache.LRU
+	tail  *cache.LRU
+	cliff *cache.Shadow
+	hill  *cache.Shadow
+
+	physCapacity int64 // target capacity of front+tail, in cost units
+	tailCapacity int64 // capacity reserved for the tail window
+}
+
+func newPartition(physCapacity, tailCapacity, cliffCapacity, hillCapacity int64) *partition {
+	if physCapacity < 0 {
+		physCapacity = 0
+	}
+	frontCap := physCapacity - tailCapacity
+	if frontCap < 0 {
+		frontCap = 0
+	}
+	tailCap := physCapacity - frontCap
+	return &partition{
+		front:        cache.NewLRU(frontCap),
+		tail:         cache.NewLRU(tailCap),
+		cliff:        cache.NewShadow(cliffCapacity),
+		hill:         cache.NewShadow(hillCapacity),
+		physCapacity: physCapacity,
+		tailCapacity: tailCapacity,
+	}
+}
+
+// lookup reports where key currently resides without modifying the chain.
+func (p *partition) lookup(key string) segment {
+	switch {
+	case p.front.Contains(key):
+		return segFront
+	case p.tail.Contains(key):
+		return segTail
+	case p.cliff.Contains(key):
+		return segCliff
+	case p.hill.Contains(key):
+		return segHill
+	default:
+		return segMiss
+	}
+}
+
+// remove deletes key from whichever segment holds it.
+func (p *partition) remove(key string) bool {
+	return p.front.Remove(key) || p.tail.Remove(key) || p.cliff.Remove(key) || p.hill.Remove(key)
+}
+
+// promote handles a reference to key that was found in segment seg: the key
+// is moved to the front of the physical chain (for segFront a plain LRU
+// promotion suffices) and overflow cascades down the chain. It returns the
+// keys physically evicted by the cascade.
+func (p *partition) promote(key string, cost int64, seg segment) []cache.Victim {
+	switch seg {
+	case segFront:
+		p.front.Get(key)
+		return nil
+	case segTail:
+		p.tail.Remove(key)
+	case segCliff:
+		p.cliff.Remove(key)
+	case segHill:
+		p.hill.Remove(key)
+	}
+	return p.insert(key, cost)
+}
+
+// insert places key at the head of the physical chain and cascades overflow
+// down the segments, returning physical evictions.
+func (p *partition) insert(key string, cost int64) []cache.Victim {
+	var physical []cache.Victim
+	// If the front segment cannot hold anything (tiny partitions), insert
+	// directly into the tail window.
+	overflow := p.front.Add(key, cost)
+	if p.front.Capacity() <= 0 || (len(overflow) == 1 && overflow[0].Key == key) {
+		// The entry itself bounced (cost exceeds front capacity): it goes to
+		// the tail window instead.
+		overflow = p.tail.Add(key, cost)
+		physical = append(physical, p.cascadeFromTail(overflow)...)
+		return physical
+	}
+	// Normal cascade: front overflow enters the tail window.
+	for _, v := range overflow {
+		ov := p.tail.Add(v.Key, v.Cost)
+		physical = append(physical, p.cascadeFromTail(ov)...)
+	}
+	return physical
+}
+
+// cascadeFromTail handles entries falling out of the tail window: they are
+// physically evicted (reported to the caller) and their keys are remembered
+// by the cliff shadow, whose own overflow flows into the hill shadow.
+func (p *partition) cascadeFromTail(victims []cache.Victim) []cache.Victim {
+	for _, v := range victims {
+		for _, cv := range p.cliff.Push(v.Key, v.Cost) {
+			p.hill.Push(cv.Key, cv.Cost)
+		}
+	}
+	return victims
+}
+
+// setPhysCapacity retargets the partition's physical capacity, keeping the
+// tail window at its configured size, and cascades any overflow. It returns
+// physical evictions.
+func (p *partition) setPhysCapacity(physCapacity int64) []cache.Victim {
+	if physCapacity < 0 {
+		physCapacity = 0
+	}
+	p.physCapacity = physCapacity
+	frontCap := physCapacity - p.tailCapacity
+	if frontCap < 0 {
+		frontCap = 0
+	}
+	tailCap := physCapacity - frontCap
+	var physical []cache.Victim
+	// Shrink the tail first so front overflow has room to cascade sanely.
+	for _, v := range p.tail.Resize(tailCap) {
+		physical = append(physical, v)
+		for _, cv := range p.cliff.Push(v.Key, v.Cost) {
+			p.hill.Push(cv.Key, cv.Cost)
+		}
+	}
+	for _, v := range p.front.Resize(frontCap) {
+		ov := p.tail.Add(v.Key, v.Cost)
+		physical = append(physical, p.cascadeFromTail(ov)...)
+	}
+	return physical
+}
+
+// setHillCapacity retargets the partition's share of the hill-climbing
+// shadow queue.
+func (p *partition) setHillCapacity(capacity int64) {
+	p.hill.Resize(capacity)
+}
+
+// used reports the physically resident cost.
+func (p *partition) used() int64 { return p.front.Used() + p.tail.Used() }
+
+// items reports the number of physically resident entries.
+func (p *partition) items() int { return p.front.Len() + p.tail.Len() }
+
+// AccessOutcome describes the result of one access to a managed queue.
+type AccessOutcome struct {
+	// Hit is true when the key was physically resident (a cache hit).
+	Hit bool
+	// ShadowHit is true when the key was found in the hill-climbing shadow
+	// queue (a miss that signals the queue would benefit from more memory).
+	ShadowHit bool
+	// CliffShadowHit is true when the key was found in a cliff-scaling
+	// shadow queue ("right of pointer").
+	CliffShadowHit bool
+	// TailWindowHit is true when the key hit in the physical tail window
+	// ("left of pointer"). TailWindowHit implies Hit.
+	TailWindowHit bool
+	// Evicted lists keys physically evicted as a consequence of this
+	// access; the caller must drop their values.
+	Evicted []cache.Victim
+}
+
+// QueueStats accumulates per-queue counters.
+type QueueStats struct {
+	Requests        int64
+	Hits            int64
+	ShadowHits      int64
+	CliffShadowHits int64
+	Evictions       int64
+	Resizes         int64
+	// Pointer-event counters, useful when diagnosing cliff-scaling
+	// behaviour: hits in the cliff shadow ("right of pointer") and the tail
+	// window ("left of pointer") of each partition.
+	LeftCliffEvents  int64
+	LeftTailEvents   int64
+	RightCliffEvents int64
+	RightTailEvents  int64
+	// StalePointerEvents counts shadow/tail hits that were ignored because
+	// the partition was not full (its shadow contents were stale).
+	StalePointerEvents int64
+	// RelaxEvents counts pointer pull-backs triggered by clearly underfull
+	// partitions.
+	RelaxEvents int64
+}
+
+// underfullBy reports whether the partition's resident cost is below its
+// target capacity by more than margin.
+func underfullBy(p *partition, margin int64) bool {
+	return p.used()+margin < p.physCapacity
+}
+
+// relaxMargin is the slack a partition must show before its pointer is
+// relaxed: several credits plus the tail-window size (the tail drains while
+// the front refills after any capacity increase, creating benign slack of up
+// to one tail window), or a sixteenth of capacity for large partitions —
+// whichever is larger — so that growth transients never trigger relaxation.
+func relaxMargin(p *partition, credit int64) int64 {
+	m := 4*credit + p.tailCapacity
+	if alt := p.physCapacity/16 + p.tailCapacity; alt > m {
+		m = alt
+	}
+	return m
+}
+
+// Queue is one Cliffhanger-managed eviction queue: a slab class or an
+// application. It owns the Figure-5 structure (two partitions, each with a
+// tail window, a cliff shadow and a hill shadow) and runs the cliff-scaling
+// pointer algorithm locally. Capacity changes come from the Manager's hill
+// climbing (or from the caller when hill climbing is disabled).
+type Queue struct {
+	id       string
+	cfg      Config
+	unitCost int64
+
+	capacity int64 // target total physical capacity (cost units)
+
+	left, right *partition
+	split       bool
+
+	// Cliff-scaling state (Algorithm 2/3), in cost units.
+	leftPointer  int64
+	rightPointer int64
+	ratio        float64 // fraction of requests routed to the left partition
+	// leftEvents and rightEvents count pointer-update events per side and
+	// drive the slow leak that pulls idle pointers back toward the
+	// operating point (see updatePointers).
+	leftEvents  uint64
+	rightEvents uint64
+
+	pendingResize bool
+	rr            uint64 // round-robin counter for SplitRoundRobin
+	missCount     uint64 // drives the relaxation rate limit
+
+	stats QueueStats
+}
+
+// newQueue builds a queue with the given initial capacity. unitCost is the
+// typical per-item cost (the slab chunk size) used to convert the item-based
+// window parameters into cost units.
+func newQueue(id string, cfg Config, capacity, unitCost int64) *Queue {
+	if unitCost <= 0 {
+		unitCost = 1
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	q := &Queue{
+		id:       id,
+		cfg:      cfg,
+		unitCost: unitCost,
+		capacity: capacity,
+		ratio:    1.0,
+	}
+	tailCap := cfg.TailWindowItems * unitCost
+	cliffCap := cfg.CliffShadowItems * unitCost
+	// Unsplit layout: everything lives in the left partition.
+	q.left = newPartition(capacity, tailCap, cliffCap, cfg.ShadowBytes)
+	q.right = newPartition(0, tailCap, cliffCap, 0)
+	q.leftPointer = capacity
+	q.rightPointer = capacity
+	// Apply the initial layout immediately (splitting the capacity in half
+	// when cliff scaling activates) so the very first requests already see
+	// correctly sized partitions.
+	q.pendingResize = true
+	q.applyResize()
+	return q
+}
+
+// ID returns the queue's identifier.
+func (q *Queue) ID() string { return q.id }
+
+// Capacity returns the queue's target physical capacity in cost units.
+func (q *Queue) Capacity() int64 { return q.capacity }
+
+// Used returns the physically resident cost.
+func (q *Queue) Used() int64 { return q.left.used() + q.right.used() }
+
+// Items returns the number of physically resident entries.
+func (q *Queue) Items() int { return q.left.items() + q.right.items() }
+
+// Stats returns a copy of the queue's counters.
+func (q *Queue) Stats() QueueStats { return q.stats }
+
+// Split reports whether cliff scaling is currently active on this queue.
+func (q *Queue) Split() bool { return q.split }
+
+// Ratio returns the current fraction of requests routed to the left
+// partition (0.5 on concave curves, shifted when a cliff is detected).
+func (q *Queue) Ratio() float64 { return q.ratio }
+
+// Pointers returns the cliff-scaling pointers (left, right) in cost units.
+func (q *Queue) Pointers() (int64, int64) { return q.leftPointer, q.rightPointer }
+
+// PartitionCapacities returns the current physical capacities of the left
+// and right partitions.
+func (q *Queue) PartitionCapacities() (int64, int64) {
+	return q.left.physCapacity, q.right.physCapacity
+}
+
+// SetCapacity retargets the queue's total physical capacity. The change is
+// applied lazily on the next miss when ResizeOnMissOnly is set, matching the
+// paper's thrash-avoidance rule.
+func (q *Queue) SetCapacity(capacity int64) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if capacity == q.capacity {
+		return
+	}
+	q.capacity = capacity
+	q.clampPointers()
+	q.pendingResize = true
+}
+
+// Contains reports whether key is physically resident.
+func (q *Queue) Contains(key string) bool {
+	s := q.left.lookup(key)
+	if s == segFront || s == segTail {
+		return true
+	}
+	s = q.right.lookup(key)
+	return s == segFront || s == segTail
+}
+
+// Remove deletes key from the queue entirely (physical and shadow segments).
+func (q *Queue) Remove(key string) bool {
+	l := q.left.remove(key)
+	r := q.right.remove(key)
+	return l || r
+}
+
+// Access processes one request for key with the given cost and returns the
+// outcome. On a miss the key is admitted (demand fill); the caller stores
+// the value and drops the values of any Evicted keys.
+func (q *Queue) Access(key string, cost int64) AccessOutcome {
+	q.stats.Requests++
+	target, other := q.route(key)
+
+	// Find the key, preferring its routed partition but falling back to the
+	// other so that ratio changes migrate keys instead of losing them.
+	found := target
+	seg := target.lookup(key)
+	if seg == segMiss {
+		if s := other.lookup(key); s != segMiss {
+			found = other
+			seg = s
+		}
+	}
+
+	var out AccessOutcome
+	switch seg {
+	case segFront, segTail:
+		out.Hit = true
+		out.TailWindowHit = seg == segTail
+		q.stats.Hits++
+	case segCliff:
+		out.CliffShadowHit = true
+		q.stats.CliffShadowHits++
+	case segHill:
+		out.ShadowHit = true
+		q.stats.ShadowHits++
+	}
+
+	// Cliff-scaling pointer updates (Algorithm 2): driven by hits at the
+	// tail window (left of pointer) and in the cliff shadow (right of
+	// pointer) of each partition.
+	if q.split && q.cfg.EnableCliffScaling {
+		q.updatePointers(found, seg)
+	}
+
+	// Promote or admit the key. Misses and shadow hits are admissions into
+	// the routed partition; physical hits are promotions within the
+	// partition where the key resides.
+	var evicted []cache.Victim
+	if out.Hit {
+		evicted = found.promote(key, cost, seg)
+	} else {
+		if seg != segMiss {
+			// Drop the key's shadow entry (wherever it lives) so it is
+			// admitted exactly once.
+			found.remove(key)
+		}
+		evicted = append(evicted, target.insert(key, cost)...)
+	}
+	// Relax pointers toward "just full" partition sizes. A partition that is
+	// underfull by a clear margin has more memory than its key subset needs,
+	// which means its pointer overshot the anchor Talus would choose (the
+	// size at which the partition exactly fits its share of the working
+	// set). The paper's pointer rules have no restoring force in that state
+	// because an underfull partition stops evicting and its measurement
+	// windows go quiet, so we pull the pointer back one credit at a time, at
+	// most once per pointerLeakPeriod misses. This also implements lazy
+	// growth: partitions only keep memory they demonstrably fill.
+	if q.split && q.cfg.EnableCliffScaling && !out.Hit {
+		q.missCount++
+		if q.missCount%pointerLeakPeriod == 0 {
+			credit := q.cfg.CreditBytes
+			if q.rightPointer > q.capacity && underfullBy(q.right, relaxMargin(q.right, credit)) {
+				q.stats.RelaxEvents++
+				q.rightPointer -= credit
+				q.clampPointers()
+				q.recomputeRatio()
+				q.pendingResize = true
+			}
+			if q.leftPointer > q.unitCost*q.cfg.TailWindowItems && underfullBy(q.left, relaxMargin(q.left, credit)) {
+				q.stats.RelaxEvents++
+				q.leftPointer -= credit
+				q.clampPointers()
+				q.recomputeRatio()
+				q.pendingResize = true
+			}
+		}
+	}
+	// Apply pending capacity changes: on every access when thrash avoidance
+	// is disabled, otherwise only when this access was a miss (§5.1).
+	if q.pendingResize && (!q.cfg.ResizeOnMissOnly || !out.Hit) {
+		evicted = append(evicted, q.applyResize()...)
+	}
+	out.Evicted = evicted
+	q.stats.Evictions += int64(len(evicted))
+	return out
+}
+
+// route returns the partition the key is routed to and the other partition.
+func (q *Queue) route(key string) (target, other *partition) {
+	if !q.split {
+		return q.left, q.right
+	}
+	var toLeft bool
+	switch q.cfg.Splitter {
+	case SplitRoundRobin:
+		q.rr++
+		// Route in proportion to ratio using a deterministic low-discrepancy
+		// sequence: the fractional part of rr*ratio.
+		toLeft = float64(q.rr%1000)/1000.0 < q.ratio
+	default:
+		h := fnv1a(key)
+		toLeft = float64(h%(1<<20))/float64(1<<20) < q.ratio
+	}
+	if toLeft {
+		return q.left, q.right
+	}
+	return q.right, q.left
+}
+
+// updatePointers implements Algorithm 2. The "shadow queue" of each
+// partition conceptually straddles that partition's pointer: its left half
+// is the partition's physical tail window and its right half is the
+// partition's cliff shadow queue (§5.1). Hits right of a pointer push it
+// outward (right pointer grows, left pointer shrinks); hits left of a
+// pointer pull it back toward the current operating point.
+func (q *Queue) updatePointers(p *partition, seg segment) {
+	if seg != segTail && seg != segCliff {
+		return
+	}
+	credit := q.cfg.CreditBytes
+	// Only full partitions produce meaningful pointer signals. An underfull
+	// partition is not evicting, so anything found in its tail window or
+	// cliff shadow is a stale leftover from before its last resize; acting
+	// on those would let the pointers ratchet away from the operating point
+	// on noise (and during warm-up).
+	if p.used()+credit < p.physCapacity {
+		q.stats.StalePointerEvents++
+		return
+	}
+	switch {
+	case p == q.right && seg == segCliff:
+		q.stats.RightCliffEvents++
+		q.rightPointer += credit
+	case p == q.right && seg == segTail:
+		q.stats.RightTailEvents++
+		if q.rightPointer > q.capacity {
+			q.rightPointer -= credit
+		}
+	case p == q.left && seg == segCliff:
+		q.stats.LeftCliffEvents++
+		q.leftPointer -= credit
+	case p == q.left && seg == segTail:
+		q.stats.LeftTailEvents++
+		if q.leftPointer < q.capacity {
+			q.leftPointer += credit
+		}
+	}
+	// Slow leak toward the operating point. On concave (or locally linear)
+	// curves the left/right window hit rates are nearly equal, so the
+	// pointers perform an almost unbiased random walk; without a weak
+	// restoring force they wander far from the operating point and skew the
+	// partition sizes for no benefit. One extra credit of pull per
+	// pointerLeakPeriod events is negligible against the sustained
+	// imbalance a real cliff produces but keeps idle pointers home.
+	if p == q.left {
+		q.leftEvents++
+		if q.leftEvents%pointerLeakPeriod == 0 && q.leftPointer < q.capacity {
+			q.leftPointer += credit
+		}
+	} else {
+		q.rightEvents++
+		if q.rightEvents%pointerLeakPeriod == 0 && q.rightPointer > q.capacity {
+			q.rightPointer -= credit
+		}
+	}
+	q.clampPointers()
+	q.recomputeRatio()
+	q.pendingResize = true
+}
+
+// pointerLeakPeriod is the number of pointer-update events between leak
+// steps; see updatePointers.
+const pointerLeakPeriod = 8
+
+// clampPointers keeps the pointers on their respective sides of the current
+// operating point: leftPointer in [minQueue, capacity], rightPointer in
+// [capacity, +inf).
+func (q *Queue) clampPointers() {
+	minLeft := q.unitCost * q.cfg.TailWindowItems
+	if minLeft <= 0 {
+		minLeft = q.unitCost
+	}
+	if q.leftPointer > q.capacity {
+		q.leftPointer = q.capacity
+	}
+	if q.leftPointer < minLeft {
+		q.leftPointer = minLeft
+	}
+	if q.rightPointer < q.capacity {
+		q.rightPointer = q.capacity
+	}
+}
+
+// recomputeRatio implements Algorithm 3 (ComputeRatio): the fraction of
+// requests routed to the left (small) partition is proportional to the
+// distance of the right pointer from the operating point.
+//
+// A small dead zone is applied: while both pointers are within a couple of
+// credits of the operating point (which is where they hover on concave
+// curves, since their reflecting barriers sit at the operating point) the
+// ratio stays pinned at 0.5 so that concave workloads see a stable, evenly
+// split queue instead of constant re-partitioning churn.
+func (q *Queue) recomputeRatio() {
+	if q.ratioPinned() {
+		q.ratio = 0.5
+		return
+	}
+	distanceRight := float64(q.rightPointer - q.capacity)
+	distanceLeft := float64(q.capacity - q.leftPointer)
+	q.ratio = distanceRight / (distanceRight + distanceLeft)
+}
+
+// ratioPinned reports whether the pointers are still too close to the
+// operating point for the Talus ratio to be meaningful; in that regime the
+// request split stays at 0.5. The dead zone is several credits wide because
+// a pointer hovering one or two credits past the operating point (which
+// happens constantly on concave curves) would otherwise produce wildly
+// lopsided ratios (e.g. dR=1 credit against dL=thousands) and thrash the
+// partitions.
+func (q *Queue) ratioPinned() bool {
+	deadZone := 4 * q.cfg.CreditBytes
+	return q.rightPointer-q.capacity <= deadZone || q.capacity-q.leftPointer <= deadZone
+}
+
+// applyResize implements UpdatePhysicalQueues of Algorithm 3 plus the
+// hill-climbing capacity target: the left partition simulates a queue of
+// leftPointer items by holding leftPointer*ratio of them, and the right
+// partition simulates rightPointer items with rightPointer*(1-ratio). When
+// the queue is not split, the left partition simply takes the whole
+// capacity. The 1 MiB hill-climbing shadow is split across partitions in
+// proportion to their sizes (§5.1).
+func (q *Queue) applyResize() []cache.Victim {
+	q.pendingResize = false
+	q.stats.Resizes++
+	q.maybeToggleSplit()
+	var victims []cache.Victim
+	if !q.split {
+		victims = append(victims, q.left.setPhysCapacity(q.capacity)...)
+		victims = append(victims, q.right.setPhysCapacity(0)...)
+		q.left.setHillCapacity(q.cfg.ShadowBytes)
+		q.right.setHillCapacity(0)
+		return victims
+	}
+	// Target partition sizes per Algorithm 3 (UpdatePhysicalQueues). When
+	// the ratio is pinned at 0.5 the Talus identity left·ratio +
+	// right·(1-ratio) = capacity does not hold, so the right partition is
+	// given whatever the left does not use: this keeps the full budget in
+	// use and lets the right partition explore larger simulated sizes,
+	// which is how the right pointer discovers the top of a cliff.
+	// In the unpinned regime the Talus identity guarantees that
+	// right = capacity - left, so deriving the right size from the left
+	// keeps the sum exact despite rounding; in the pinned regime it is the
+	// reinvestment rule described above.
+	leftTarget := int64(float64(q.leftPointer) * q.ratio)
+	if leftTarget > q.capacity {
+		leftTarget = q.capacity
+	}
+	// Bound the per-resize movement so that transient ratio or pointer
+	// swings never repartition a large fraction of the queue at once; the
+	// resize is re-applied on subsequent misses until the target is reached.
+	maxStep := 8 * q.cfg.CreditBytes
+	if alt := q.capacity / 64; alt > maxStep {
+		maxStep = alt
+	}
+	leftCap := stepToward(q.left.physCapacity, leftTarget, maxStep)
+	if leftCap > q.capacity {
+		leftCap = q.capacity
+	}
+	rightCap := q.capacity - leftCap
+	// Hysteresis: skip physical repartitioning when the targets moved by
+	// less than one credit, so pointer jitter does not thrash the queues.
+	if abs64(leftCap-q.left.physCapacity) < q.cfg.CreditBytes &&
+		abs64(rightCap-q.right.physCapacity) < q.cfg.CreditBytes &&
+		q.left.physCapacity+q.right.physCapacity <= q.capacity {
+		return victims
+	}
+	if leftCap != leftTarget {
+		// Not yet at the target: keep resizing on subsequent misses.
+		q.pendingResize = true
+	}
+	victims = append(victims, q.left.setPhysCapacity(leftCap)...)
+	victims = append(victims, q.right.setPhysCapacity(rightCap)...)
+	total := leftCap + rightCap
+	if total <= 0 {
+		total = 1
+	}
+	q.left.setHillCapacity(q.cfg.ShadowBytes * leftCap / total)
+	q.right.setHillCapacity(q.cfg.ShadowBytes * rightCap / total)
+	return victims
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// stepToward moves cur toward target by at most step.
+func stepToward(cur, target, step int64) int64 {
+	switch {
+	case target > cur+step:
+		return cur + step
+	case target < cur-step:
+		return cur - step
+	default:
+		return target
+	}
+}
+
+// maybeToggleSplit activates or deactivates cliff scaling based on the
+// queue's size in items (§5.1: only queues above ~1000 items).
+func (q *Queue) maybeToggleSplit() {
+	if !q.cfg.EnableCliffScaling {
+		q.split = false
+		q.ratio = 1.0
+		return
+	}
+	items := q.capacity / q.unitCost
+	switch {
+	case !q.split && items >= q.cfg.CliffMinItems:
+		q.split = true
+		q.leftPointer = q.capacity
+		q.rightPointer = q.capacity
+		q.ratio = 0.5
+	case q.split && items < q.cfg.CliffMinItems*8/10:
+		// Hysteresis: deactivate only when clearly below the threshold.
+		q.split = false
+		q.ratio = 1.0
+	}
+}
+
+// ForceApplyResize applies any pending capacity changes immediately. It is
+// used by tests and by callers that drain a queue.
+func (q *Queue) ForceApplyResize() []cache.Victim {
+	if !q.pendingResize {
+		return nil
+	}
+	return q.applyResize()
+}

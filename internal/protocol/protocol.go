@@ -1,0 +1,208 @@
+// Package protocol implements the subset of the memcached text protocol the
+// server and load generator speak: get/gets, set, delete, stats, flush_all,
+// version, quit, plus a non-standard "tenant" verb that selects the
+// application (Memcachier multiplexes tenants per connection after
+// authentication; the tenant verb stands in for that handshake).
+package protocol
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Command is a parsed client command.
+type Command struct {
+	// Name is the verb: get, gets, set, delete, stats, flush_all, version,
+	// quit or tenant.
+	Name string
+	// Keys holds the key arguments (get may carry several).
+	Keys []string
+	// Flags and ExpTime are stored opaquely for set.
+	Flags   uint32
+	ExpTime int64
+	// Data is the payload of a set.
+	Data []byte
+	// NoReply suppresses the response when true.
+	NoReply bool
+	// Tenant is the argument of the tenant verb.
+	Tenant string
+}
+
+// MaxKeyLength is the memcached limit on key length.
+const MaxKeyLength = 250
+
+// MaxValueLength is the memcached limit on value size (1 MiB).
+const MaxValueLength = 1 << 20
+
+// ErrQuit is returned by ReadCommand when the client sent quit.
+var ErrQuit = fmt.Errorf("protocol: client quit")
+
+// ReadCommand reads and parses one command from r.
+func ReadCommand(r *bufio.Reader) (*Command, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if line == "" {
+		return nil, fmt.Errorf("protocol: empty command")
+	}
+	fields := strings.Fields(line)
+	cmd := &Command{Name: strings.ToLower(fields[0])}
+	args := fields[1:]
+	switch cmd.Name {
+	case "get", "gets":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("protocol: %s needs at least one key", cmd.Name)
+		}
+		for _, k := range args {
+			if err := validateKey(k); err != nil {
+				return nil, err
+			}
+		}
+		cmd.Keys = args
+	case "set", "add", "replace":
+		if len(args) < 4 {
+			return nil, fmt.Errorf("protocol: %s needs <key> <flags> <exptime> <bytes>", cmd.Name)
+		}
+		if err := validateKey(args[0]); err != nil {
+			return nil, err
+		}
+		cmd.Keys = []string{args[0]}
+		flags, err := strconv.ParseUint(args[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: bad flags %q", args[1])
+		}
+		cmd.Flags = uint32(flags)
+		exp, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: bad exptime %q", args[2])
+		}
+		cmd.ExpTime = exp
+		size, err := strconv.Atoi(args[3])
+		if err != nil || size < 0 || size > MaxValueLength {
+			return nil, fmt.Errorf("protocol: bad bytes %q", args[3])
+		}
+		if len(args) > 4 && args[len(args)-1] == "noreply" {
+			cmd.NoReply = true
+		}
+		data := make([]byte, size+2)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("protocol: short data block: %v", err)
+		}
+		if data[size] != '\r' || data[size+1] != '\n' {
+			return nil, fmt.Errorf("protocol: data block not terminated by CRLF")
+		}
+		cmd.Data = data[:size]
+	case "delete":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("protocol: delete needs a key")
+		}
+		if err := validateKey(args[0]); err != nil {
+			return nil, err
+		}
+		cmd.Keys = []string{args[0]}
+		if len(args) > 1 && args[len(args)-1] == "noreply" {
+			cmd.NoReply = true
+		}
+	case "tenant":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("protocol: tenant needs exactly one name")
+		}
+		cmd.Tenant = args[0]
+	case "stats", "flush_all", "version":
+		// no arguments needed
+	case "quit":
+		return nil, ErrQuit
+	default:
+		return nil, fmt.Errorf("protocol: unknown command %q", cmd.Name)
+	}
+	return cmd, nil
+}
+
+func validateKey(k string) error {
+	if k == "" || len(k) > MaxKeyLength {
+		return fmt.Errorf("protocol: invalid key length %d", len(k))
+	}
+	for i := 0; i < len(k); i++ {
+		if k[i] <= ' ' || k[i] == 127 {
+			return fmt.Errorf("protocol: key contains control or space characters")
+		}
+	}
+	return nil
+}
+
+// readLine reads a CRLF- (or LF-) terminated line without the terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// Value is one value returned to a get/gets request.
+type Value struct {
+	Key   string
+	Flags uint32
+	CAS   uint64
+	Data  []byte
+}
+
+// WriteValues writes the VALUE blocks and the END terminator of a get/gets
+// response.
+func WriteValues(w *bufio.Writer, values []Value, withCAS bool) error {
+	for _, v := range values {
+		var err error
+		if withCAS {
+			_, err = fmt.Fprintf(w, "VALUE %s %d %d %d\r\n", v.Key, v.Flags, len(v.Data), v.CAS)
+		} else {
+			_, err = fmt.Fprintf(w, "VALUE %s %d %d\r\n", v.Key, v.Flags, len(v.Data))
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(v.Data); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+// WriteLine writes a single response line terminated by CRLF.
+func WriteLine(w *bufio.Writer, line string) error {
+	_, err := w.WriteString(line + "\r\n")
+	return err
+}
+
+// WriteStats writes STAT lines followed by END.
+func WriteStats(w *bufio.Writer, stats map[string]string, order []string) error {
+	for _, k := range order {
+		if _, err := fmt.Fprintf(w, "STAT %s %s\r\n", k, stats[k]); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+// ParseResponseLine classifies a simple one-line response (STORED, DELETED,
+// NOT_FOUND, ERROR ...).
+func ParseResponseLine(line string) (ok bool, err error) {
+	switch {
+	case line == "STORED" || line == "DELETED" || line == "OK" || line == "TENANT":
+		return true, nil
+	case line == "NOT_FOUND" || line == "NOT_STORED":
+		return false, nil
+	case strings.HasPrefix(line, "ERROR") || strings.HasPrefix(line, "SERVER_ERROR") || strings.HasPrefix(line, "CLIENT_ERROR"):
+		return false, fmt.Errorf("protocol: server error: %s", line)
+	default:
+		return false, fmt.Errorf("protocol: unexpected response %q", line)
+	}
+}

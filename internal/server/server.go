@@ -1,0 +1,287 @@
+// Package server exposes the multi-tenant cache store over TCP using the
+// memcached-style text protocol from internal/protocol. One goroutine serves
+// each connection; the store provides per-tenant locking, so connections for
+// different applications proceed in parallel, mirroring how one Cliffhanger
+// instance serves many applications on a Memcachier server.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+
+	"cliffhanger/internal/metrics"
+	"cliffhanger/internal/protocol"
+	"cliffhanger/internal/store"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:11211". Use ":0" to
+	// pick an ephemeral port (the chosen address is available via Addr()).
+	Addr string
+	// DefaultTenant is the tenant used before a connection issues the
+	// tenant verb. It must be registered on the store.
+	DefaultTenant string
+	// Logger receives error messages; nil discards them.
+	Logger *log.Logger
+}
+
+// Server serves the memcached-style protocol over TCP.
+type Server struct {
+	cfg   Config
+	store *store.Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Latency and throughput instrumentation (Tables 6 and 7).
+	GetLatency *metrics.LatencyHistogram
+	SetLatency *metrics.LatencyHistogram
+	Ops        *metrics.Throughput
+}
+
+// New creates a server for the given store.
+func New(cfg Config, st *store.Store) *Server {
+	if cfg.DefaultTenant == "" {
+		cfg.DefaultTenant = "default"
+	}
+	return &Server{
+		cfg:        cfg,
+		store:      st,
+		conns:      make(map[net.Conn]struct{}),
+		GetLatency: &metrics.LatencyHistogram{},
+		SetLatency: &metrics.LatencyHistogram{},
+		Ops:        metrics.NewThroughput(),
+	}
+}
+
+// Start begins listening and serving in background goroutines.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listener address (useful with ":0").
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close stops the listener and closes every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	tenant := s.cfg.DefaultTenant
+	for {
+		cmd, err := protocol.ReadCommand(r)
+		if err != nil {
+			if errors.Is(err, protocol.ErrQuit) || errors.Is(err, io.EOF) {
+				return
+			}
+			if writeErr := protocol.WriteLine(w, "CLIENT_ERROR "+err.Error()); writeErr != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			// Unknown commands are recoverable; IO errors are not.
+			var netErr net.Error
+			if errors.As(err, &netErr) {
+				return
+			}
+			continue
+		}
+		if err := s.handle(w, cmd, &tenant); err != nil {
+			s.logf("server: %v", err)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one command and writes its response.
+func (s *Server) handle(w *bufio.Writer, cmd *protocol.Command, tenant *string) error {
+	s.Ops.Add(1)
+	switch cmd.Name {
+	case "tenant":
+		*tenant = cmd.Tenant
+		return protocol.WriteLine(w, "TENANT")
+	case "get", "gets":
+		return s.handleGet(w, cmd, *tenant)
+	case "set", "add", "replace":
+		return s.handleSet(w, cmd, *tenant)
+	case "delete":
+		return s.handleDelete(w, cmd, *tenant)
+	case "stats":
+		return s.handleStats(w, *tenant)
+	case "flush_all":
+		if err := s.store.Flush(*tenant); err != nil {
+			return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+		}
+		return protocol.WriteLine(w, "OK")
+	case "version":
+		return protocol.WriteLine(w, "VERSION cliffhanger-1.0")
+	default:
+		return protocol.WriteLine(w, "ERROR")
+	}
+}
+
+func (s *Server) handleGet(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
+	values := make([]protocol.Value, 0, len(cmd.Keys))
+	withCAS := cmd.Name == "gets"
+	for _, key := range cmd.Keys {
+		stop := timeOp(s.GetLatency)
+		if withCAS {
+			data, cas, ok, err := s.store.GetWithCAS(tenant, key)
+			stop()
+			if err != nil {
+				return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+			}
+			if ok {
+				values = append(values, protocol.Value{Key: key, Data: data, CAS: cas})
+			}
+			continue
+		}
+		data, ok, err := s.store.Get(tenant, key)
+		stop()
+		if err != nil {
+			return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+		}
+		if ok {
+			values = append(values, protocol.Value{Key: key, Data: data})
+		}
+	}
+	return protocol.WriteValues(w, values, withCAS)
+}
+
+func (s *Server) handleSet(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
+	stop := timeOp(s.SetLatency)
+	err := s.store.Set(tenant, cmd.Keys[0], cmd.Data)
+	stop()
+	if cmd.NoReply {
+		return nil
+	}
+	if err != nil {
+		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+	}
+	return protocol.WriteLine(w, "STORED")
+}
+
+func (s *Server) handleDelete(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
+	deleted, err := s.store.Delete(tenant, cmd.Keys[0])
+	if cmd.NoReply {
+		return nil
+	}
+	if err != nil {
+		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+	}
+	if deleted {
+		return protocol.WriteLine(w, "DELETED")
+	}
+	return protocol.WriteLine(w, "NOT_FOUND")
+}
+
+func (s *Server) handleStats(w *bufio.Writer, tenant string) error {
+	st, err := s.store.Stats(tenant)
+	if err != nil {
+		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+	}
+	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "ops_per_sec"}
+	stats := map[string]string{
+		"tenant":      tenant,
+		"cmd_get":     strconv.FormatInt(st.Requests, 10),
+		"get_hits":    strconv.FormatInt(st.Hits, 10),
+		"get_misses":  strconv.FormatInt(st.Misses, 10),
+		"hit_rate":    fmt.Sprintf("%.4f", st.HitRate()),
+		"cmd_set":     strconv.FormatInt(st.Sets, 10),
+		"ops_per_sec": fmt.Sprintf("%.0f", s.Ops.Rate()),
+	}
+	for _, c := range st.Classes {
+		k := fmt.Sprintf("class_%d_hit_rate", c.Class)
+		order = append(order, k)
+		hr := 0.0
+		if c.Requests > 0 {
+			hr = float64(c.Hits) / float64(c.Requests)
+		}
+		stats[k] = fmt.Sprintf("%.4f", hr)
+	}
+	return protocol.WriteStats(w, stats, order)
+}
+
+// timeOp returns a function that records the elapsed time into h when called.
+func timeOp(h *metrics.LatencyHistogram) func() {
+	start := nowNano()
+	return func() { h.Record(nowNano() - start) }
+}

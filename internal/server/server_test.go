@@ -1,0 +1,201 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"cliffhanger/internal/cache"
+	"cliffhanger/internal/client"
+	"cliffhanger/internal/store"
+)
+
+func startTestServer(t *testing.T, mode store.AllocationMode) (*Server, *store.Store) {
+	t.Helper()
+	st := store.New(store.Config{DefaultMode: mode, DefaultPolicy: cache.PolicyLRU})
+	if err := st.RegisterTenant("default", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterTenant("app2", 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Addr: "127.0.0.1:0", DefaultTenant: "default"}, st)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, st
+}
+
+func dialTest(t *testing.T, srv *Server) *client.Client {
+	t.Helper()
+	c, err := client.Dial(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestServerSetGetDelete(t *testing.T) {
+	srv, _ := startTestServer(t, store.AllocCliffhanger)
+	c := dialTest(t, srv)
+
+	if _, ok, err := c.Get("missing"); err != nil || ok {
+		t.Fatalf("get of missing key: ok=%v err=%v", ok, err)
+	}
+	if err := c.Set("greeting", []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("greeting")
+	if err != nil || !ok || string(v) != "hello world" {
+		t.Fatalf("get = %q %v %v", v, ok, err)
+	}
+	if deleted, err := c.Delete("greeting"); err != nil || !deleted {
+		t.Fatalf("delete = %v %v", deleted, err)
+	}
+	if deleted, _ := c.Delete("greeting"); deleted {
+		t.Fatalf("second delete should report NOT_FOUND")
+	}
+	if v, err := c.Version(); err != nil || v == "" {
+		t.Fatalf("version = %q %v", v, err)
+	}
+}
+
+func TestServerBinaryValuesAndMultiGet(t *testing.T) {
+	srv, _ := startTestServer(t, store.AllocDefault)
+	c := dialTest(t, srv)
+
+	binary := make([]byte, 1024)
+	for i := range binary {
+		binary[i] = byte(i % 251)
+	}
+	binary[10] = '\r'
+	binary[11] = '\n'
+	if err := c.Set("binary", binary); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), []byte(strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.GetMulti([]string{"k0", "k3", "binary", "missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("GetMulti returned %d values, want 3", len(got))
+	}
+	if string(got["k3"]) != "3" {
+		t.Fatalf("k3 = %q", got["k3"])
+	}
+	if len(got["binary"]) != len(binary) {
+		t.Fatalf("binary value corrupted: %d bytes", len(got["binary"]))
+	}
+	for i := range binary {
+		if got["binary"][i] != binary[i] {
+			t.Fatalf("binary value differs at byte %d", i)
+		}
+	}
+}
+
+func TestServerTenantIsolationAndStats(t *testing.T) {
+	srv, _ := startTestServer(t, store.AllocCliffhanger)
+	c1 := dialTest(t, srv)
+	c2 := dialTest(t, srv)
+
+	if err := c1.Set("shared-key", []byte("tenant-default")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.SelectTenant("app2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c2.Get("shared-key"); ok {
+		t.Fatalf("tenants must be isolated")
+	}
+	if err := c2.Set("shared-key", []byte("tenant-app2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := c1.Get("shared-key")
+	if !ok || string(v) != "tenant-default" {
+		t.Fatalf("default tenant value clobbered: %q %v", v, ok)
+	}
+	stats, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["tenant"] != "app2" {
+		t.Fatalf("stats tenant = %q", stats["tenant"])
+	}
+	if stats["cmd_set"] == "" || stats["hit_rate"] == "" {
+		t.Fatalf("stats missing fields: %v", stats)
+	}
+	if err := c2.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c2.Get("shared-key"); ok {
+		t.Fatalf("flush_all did not clear tenant")
+	}
+}
+
+func TestServerUnknownCommandRecovers(t *testing.T) {
+	srv, _ := startTestServer(t, store.AllocDefault)
+	c := dialTest(t, srv)
+	// A single-line command with an invalid key (too long) draws a
+	// CLIENT_ERROR but must leave the connection usable.
+	longKey := make([]byte, 300)
+	for i := range longKey {
+		longKey[i] = 'k'
+	}
+	if _, err := c.Delete(string(longKey)); err == nil {
+		t.Fatalf("over-long key should produce an error")
+	}
+	// Connection must still work afterwards.
+	if err := c.Set("good-key", []byte("x")); err != nil {
+		t.Fatalf("connection unusable after protocol error: %v", err)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	srv, _ := startTestServer(t, store.AllocCliffhanger)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr(), 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d-k%d", id, i%50)
+				if err := c.Set(key, []byte("value")); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := c.Get(key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if srv.Ops.Ops() == 0 {
+		t.Fatalf("server recorded no operations")
+	}
+	if srv.GetLatency.Count() == 0 || srv.SetLatency.Count() == 0 {
+		t.Fatalf("latency histograms empty")
+	}
+}

@@ -1,0 +1,218 @@
+// Package slab implements Memcached-style slab-class geometry and the
+// default first-come-first-serve page allocation policy the paper uses as its
+// baseline (§2).
+//
+// Memcached avoids memory fragmentation by carving its memory into 1 MB pages
+// and assigning each page to a slab class. A slab class stores items whose
+// total size (key + value + item header) falls into a fixed range; chunk
+// sizes grow geometrically from a minimum size by a configurable growth
+// factor. Each class maintains its own LRU queue, and by default pages are
+// handed to whichever class first needs them ("first-come-first-serve"),
+// which is the behaviour Cliffhanger improves upon.
+package slab
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultPageSize is Memcached's page size.
+const DefaultPageSize = 1 << 20 // 1 MiB
+
+// Geometry describes a set of slab classes.
+type Geometry struct {
+	// ChunkSizes holds the chunk size of each class, ascending.
+	ChunkSizes []int64
+	// PageSize is the size of a slab page in bytes.
+	PageSize int64
+}
+
+// GeometryConfig controls NewGeometry.
+type GeometryConfig struct {
+	// MinChunk is the chunk size of the smallest class (default 64 bytes,
+	// mirroring Memcached with a 48-byte minimum item plus overhead).
+	MinChunk int64
+	// MaxChunk caps the chunk size of the largest class (default 1 MiB).
+	MaxChunk int64
+	// GrowthFactor is the ratio between consecutive chunk sizes (default
+	// 2.0; Memcached's default is 1.25 but the paper's examples use
+	// power-of-two ranges: <128B, 128-256B, ...).
+	GrowthFactor float64
+	// PageSize is the slab page size (default 1 MiB).
+	PageSize int64
+}
+
+// NewGeometry builds a slab-class geometry from cfg, applying defaults for
+// zero fields.
+func NewGeometry(cfg GeometryConfig) (*Geometry, error) {
+	if cfg.MinChunk == 0 {
+		cfg.MinChunk = 64
+	}
+	if cfg.MaxChunk == 0 {
+		cfg.MaxChunk = DefaultPageSize
+	}
+	if cfg.GrowthFactor == 0 {
+		cfg.GrowthFactor = 2.0
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	if cfg.MinChunk <= 0 || cfg.MaxChunk < cfg.MinChunk {
+		return nil, fmt.Errorf("slab: invalid chunk range [%d, %d]", cfg.MinChunk, cfg.MaxChunk)
+	}
+	if cfg.GrowthFactor <= 1.0 {
+		return nil, fmt.Errorf("slab: growth factor %v must be > 1", cfg.GrowthFactor)
+	}
+	if cfg.PageSize < cfg.MaxChunk {
+		return nil, fmt.Errorf("slab: page size %d smaller than max chunk %d", cfg.PageSize, cfg.MaxChunk)
+	}
+	g := &Geometry{PageSize: cfg.PageSize}
+	size := cfg.MinChunk
+	for {
+		g.ChunkSizes = append(g.ChunkSizes, size)
+		if size >= cfg.MaxChunk {
+			break
+		}
+		next := int64(float64(size) * cfg.GrowthFactor)
+		if next <= size {
+			next = size + 1
+		}
+		if next > cfg.MaxChunk {
+			next = cfg.MaxChunk
+		}
+		size = next
+	}
+	return g, nil
+}
+
+// DefaultGeometry returns the geometry used throughout the experiments:
+// power-of-two chunk sizes from 64 B to 1 MiB with 1 MiB pages, yielding 15
+// classes, matching "applications have 15 slab classes at most" (§5.7).
+func DefaultGeometry() *Geometry {
+	g, err := NewGeometry(GeometryConfig{})
+	if err != nil {
+		panic("slab: default geometry must be valid: " + err.Error())
+	}
+	return g
+}
+
+// NumClasses reports the number of slab classes.
+func (g *Geometry) NumClasses() int { return len(g.ChunkSizes) }
+
+// ClassFor returns the index of the smallest class whose chunk fits an item
+// of the given total size. It reports false when the item is larger than the
+// largest chunk.
+func (g *Geometry) ClassFor(itemSize int64) (int, bool) {
+	if itemSize <= 0 {
+		return 0, true
+	}
+	i := sort.Search(len(g.ChunkSizes), func(i int) bool {
+		return g.ChunkSizes[i] >= itemSize
+	})
+	if i == len(g.ChunkSizes) {
+		return 0, false
+	}
+	return i, true
+}
+
+// ChunkSize returns the chunk size of class i.
+func (g *Geometry) ChunkSize(i int) int64 {
+	return g.ChunkSizes[i]
+}
+
+// ChunksPerPage returns how many chunks of class i fit in one page.
+func (g *Geometry) ChunksPerPage(i int) int64 {
+	return g.PageSize / g.ChunkSizes[i]
+}
+
+// Allocator tracks how a fixed memory budget is divided into pages across
+// slab classes using the default first-come-first-serve policy: a class that
+// needs room takes a free page if any remain; otherwise it must evict from
+// its own LRU queue. Once a page is assigned to a class it is never
+// reassigned (stock Memcached behaviour; automove-style page reassignment is
+// one of the improvements discussed in §2 and is modelled separately by the
+// allocation policies in internal/sim).
+type Allocator struct {
+	geom       *Geometry
+	totalPages int64
+	freePages  int64
+	pages      []int64 // pages owned per class
+}
+
+// NewAllocator returns an allocator managing totalBytes of memory (rounded
+// down to whole pages) over the given geometry.
+func NewAllocator(geom *Geometry, totalBytes int64) *Allocator {
+	pages := totalBytes / geom.PageSize
+	if pages < 0 {
+		pages = 0
+	}
+	return &Allocator{
+		geom:       geom,
+		totalPages: pages,
+		freePages:  pages,
+		pages:      make([]int64, geom.NumClasses()),
+	}
+}
+
+// Geometry returns the allocator's slab geometry.
+func (a *Allocator) Geometry() *Geometry { return a.geom }
+
+// TotalPages reports the number of pages under management.
+func (a *Allocator) TotalPages() int64 { return a.totalPages }
+
+// FreePages reports the number of unassigned pages.
+func (a *Allocator) FreePages() int64 { return a.freePages }
+
+// PagesOf reports how many pages class i currently owns.
+func (a *Allocator) PagesOf(i int) int64 { return a.pages[i] }
+
+// BytesOf reports how many bytes class i currently owns.
+func (a *Allocator) BytesOf(i int) int64 { return a.pages[i] * a.geom.PageSize }
+
+// CapacityItems reports how many items class i can store with its current
+// pages.
+func (a *Allocator) CapacityItems(i int) int64 {
+	return a.pages[i] * a.geom.ChunksPerPage(i)
+}
+
+// Grow attempts to assign one more page to class i. It reports whether a
+// free page was available.
+func (a *Allocator) Grow(i int) bool {
+	if a.freePages == 0 {
+		return false
+	}
+	a.freePages--
+	a.pages[i]++
+	return true
+}
+
+// Release returns one page from class i to the free pool. It reports whether
+// the class had a page to release. (Stock Memcached never does this; it is
+// used by the page-reassignment baseline.)
+func (a *Allocator) Release(i int) bool {
+	if a.pages[i] == 0 {
+		return false
+	}
+	a.pages[i]--
+	a.freePages++
+	return true
+}
+
+// Reassign moves one page from class from to class to, modelling the
+// Twitter/Facebook page-move schemes discussed in §2. It reports whether the
+// move happened.
+func (a *Allocator) Reassign(from, to int) bool {
+	if from == to || a.pages[from] == 0 {
+		return false
+	}
+	a.pages[from]--
+	a.pages[to]++
+	return true
+}
+
+// Snapshot returns a copy of the per-class page assignment.
+func (a *Allocator) Snapshot() []int64 {
+	out := make([]int64, len(a.pages))
+	copy(out, a.pages)
+	return out
+}

@@ -1,0 +1,186 @@
+package slab
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryDefaults(t *testing.T) {
+	g := DefaultGeometry()
+	if g.NumClasses() != 15 {
+		t.Fatalf("default geometry has %d classes, want 15 (64B..1MiB powers of two)", g.NumClasses())
+	}
+	if g.ChunkSize(0) != 64 {
+		t.Fatalf("smallest chunk = %d, want 64", g.ChunkSize(0))
+	}
+	if g.ChunkSize(g.NumClasses()-1) != DefaultPageSize {
+		t.Fatalf("largest chunk = %d, want %d", g.ChunkSize(g.NumClasses()-1), DefaultPageSize)
+	}
+}
+
+func TestNewGeometryValidation(t *testing.T) {
+	cases := []GeometryConfig{
+		{MinChunk: -1},
+		{MinChunk: 100, MaxChunk: 50},
+		{GrowthFactor: 0.5},
+		{GrowthFactor: 1.0},
+		{MinChunk: 64, MaxChunk: 1 << 20, PageSize: 1024},
+	}
+	for i, cfg := range cases {
+		if _, err := NewGeometry(cfg); err == nil {
+			t.Errorf("case %d: NewGeometry(%+v) should fail", i, cfg)
+		}
+	}
+}
+
+func TestGeometryNonPowerOfTwoGrowth(t *testing.T) {
+	g, err := NewGeometry(GeometryConfig{MinChunk: 96, MaxChunk: 8192, GrowthFactor: 1.25, PageSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk sizes must be strictly increasing and end at MaxChunk.
+	for i := 1; i < g.NumClasses(); i++ {
+		if g.ChunkSizes[i] <= g.ChunkSizes[i-1] {
+			t.Fatalf("chunk sizes not strictly increasing at %d: %v", i, g.ChunkSizes)
+		}
+	}
+	if g.ChunkSizes[g.NumClasses()-1] != 8192 {
+		t.Fatalf("last chunk = %d, want 8192", g.ChunkSizes[g.NumClasses()-1])
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	g := DefaultGeometry()
+	cases := []struct {
+		size  int64
+		class int
+		ok    bool
+	}{
+		{1, 0, true},
+		{64, 0, true},
+		{65, 1, true},
+		{128, 1, true},
+		{129, 2, true},
+		{1 << 20, 14, true},
+		{1<<20 + 1, 0, false},
+		{0, 0, true},
+	}
+	for _, c := range cases {
+		class, ok := g.ClassFor(c.size)
+		if class != c.class || ok != c.ok {
+			t.Errorf("ClassFor(%d) = %d,%v want %d,%v", c.size, class, ok, c.class, c.ok)
+		}
+	}
+}
+
+// TestClassForProperty: every admissible size maps to a class whose chunk is
+// at least the size, and the previous class (if any) is strictly smaller.
+func TestClassForProperty(t *testing.T) {
+	g := DefaultGeometry()
+	f := func(raw uint32) bool {
+		size := int64(raw%(1<<20)) + 1
+		class, ok := g.ClassFor(size)
+		if !ok {
+			return false
+		}
+		if g.ChunkSize(class) < size {
+			return false
+		}
+		if class > 0 && g.ChunkSize(class-1) >= size {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunksPerPage(t *testing.T) {
+	g := DefaultGeometry()
+	if got := g.ChunksPerPage(0); got != (1<<20)/64 {
+		t.Fatalf("ChunksPerPage(0) = %d, want %d", got, (1<<20)/64)
+	}
+	if got := g.ChunksPerPage(g.NumClasses() - 1); got != 1 {
+		t.Fatalf("ChunksPerPage(last) = %d, want 1", got)
+	}
+}
+
+func TestAllocatorGrowReleaseReassign(t *testing.T) {
+	g := DefaultGeometry()
+	a := NewAllocator(g, 4<<20) // 4 pages
+	if a.TotalPages() != 4 || a.FreePages() != 4 {
+		t.Fatalf("TotalPages=%d FreePages=%d, want 4,4", a.TotalPages(), a.FreePages())
+	}
+	for i := 0; i < 4; i++ {
+		if !a.Grow(2) {
+			t.Fatalf("Grow #%d should succeed", i)
+		}
+	}
+	if a.Grow(2) {
+		t.Fatalf("Grow beyond free pages should fail")
+	}
+	if a.PagesOf(2) != 4 || a.BytesOf(2) != 4<<20 {
+		t.Fatalf("PagesOf=%d BytesOf=%d", a.PagesOf(2), a.BytesOf(2))
+	}
+	if a.CapacityItems(2) != 4*g.ChunksPerPage(2) {
+		t.Fatalf("CapacityItems = %d", a.CapacityItems(2))
+	}
+	if !a.Reassign(2, 5) {
+		t.Fatalf("Reassign should succeed")
+	}
+	if a.PagesOf(2) != 3 || a.PagesOf(5) != 1 {
+		t.Fatalf("after Reassign pages = %d,%d", a.PagesOf(2), a.PagesOf(5))
+	}
+	if a.Reassign(7, 8) {
+		t.Fatalf("Reassign from empty class should fail")
+	}
+	if !a.Release(5) {
+		t.Fatalf("Release should succeed")
+	}
+	if a.Release(5) {
+		t.Fatalf("Release from empty class should fail")
+	}
+	if a.FreePages() != 1 {
+		t.Fatalf("FreePages = %d, want 1", a.FreePages())
+	}
+	snap := a.Snapshot()
+	if snap[2] != 3 {
+		t.Fatalf("Snapshot[2] = %d, want 3", snap[2])
+	}
+	// Mutating the snapshot must not affect the allocator.
+	snap[2] = 99
+	if a.PagesOf(2) != 3 {
+		t.Fatalf("Snapshot aliases internal state")
+	}
+}
+
+// TestAllocatorConservation: pages are never created or destroyed.
+func TestAllocatorConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		g := DefaultGeometry()
+		a := NewAllocator(g, 16<<20)
+		for _, op := range ops {
+			class := int(op) % g.NumClasses()
+			switch op % 3 {
+			case 0:
+				a.Grow(class)
+			case 1:
+				a.Release(class)
+			case 2:
+				a.Reassign(class, (class+1)%g.NumClasses())
+			}
+			var assigned int64
+			for i := 0; i < g.NumClasses(); i++ {
+				assigned += a.PagesOf(i)
+			}
+			if assigned+a.FreePages() != a.TotalPages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package solver implements the Dynacache-style cache allocation solver the
+// paper uses as its offline baseline (§2.1, Equation 1).
+//
+// Given a hit-rate curve h_i(m), a request frequency f_i and an optional
+// weight w_i for each queue (slab class or application), the solver chooses
+// per-queue memory allocations m_i maximizing
+//
+//	sum_i w_i · f_i · h_i(m_i)   subject to   sum_i m_i <= M.
+//
+// For concave curves the problem is solved exactly by greedy marginal-gain
+// allocation ("water-filling"): repeatedly give the next unit of memory to
+// the queue whose hit-rate curve has the steepest slope at its current
+// allocation. The solver can optionally concavify each curve first (taking
+// its concave hull), which is what Dynacache implicitly assumes; on curves
+// with performance cliffs this assumption is wrong and produces the
+// misallocations the paper documents for applications 18 and 19. Running the
+// solver on the raw curve instead reproduces the "stuck below the cliff"
+// behaviour of naive local search. Both modes are exposed so the experiments
+// can compare them.
+package solver
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"cliffhanger/internal/stackdist"
+)
+
+// Queue describes one allocation target.
+type Queue struct {
+	// ID names the queue (e.g. "app3/class9").
+	ID string
+	// Curve is the queue's hit-rate curve in allocation units (items or
+	// bytes — the solver is unit-agnostic, but all queues must use the
+	// same unit as the budget).
+	Curve *stackdist.Curve
+	// Frequency is the queue's share of GET requests (absolute counts and
+	// fractions both work; only relative magnitudes matter).
+	Frequency float64
+	// Weight is the operator-assigned importance weight; zero means 1.
+	Weight float64
+	// MinSize is the smallest allocation the queue may receive.
+	MinSize int64
+	// MaxSize caps the queue's allocation; zero means unlimited.
+	MaxSize int64
+}
+
+// Options controls Solve.
+type Options struct {
+	// Step is the allocation granularity. Zero defaults to 1/1000 of the
+	// budget (at least 1).
+	Step int64
+	// Concavify replaces each curve by its concave hull before solving,
+	// mirroring Dynacache's concavity assumption.
+	Concavify bool
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	// Allocations maps queue ID to its assigned size.
+	Allocations map[string]int64
+	// PredictedHitRates maps queue ID to the hit rate the (possibly
+	// concavified) curve predicts at the assigned size.
+	PredictedHitRates map[string]float64
+	// PredictedOverall is the frequency-weighted overall hit rate predicted
+	// by the solver.
+	PredictedOverall float64
+	// Spent is the total memory assigned (<= budget).
+	Spent int64
+}
+
+// ErrNoQueues is returned when Solve is called with an empty queue set.
+var ErrNoQueues = errors.New("solver: no queues to allocate")
+
+// Solve computes the allocation maximizing Equation 1.
+func Solve(queues []Queue, budget int64, opts Options) (*Result, error) {
+	if len(queues) == 0 {
+		return nil, ErrNoQueues
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("solver: non-positive budget %d", budget)
+	}
+	step := opts.Step
+	if step <= 0 {
+		step = budget / 1000
+		if step < 1 {
+			step = 1
+		}
+	}
+
+	type state struct {
+		q     Queue
+		curve *stackdist.Curve
+		alloc int64
+		max   int64
+	}
+	states := make([]*state, 0, len(queues))
+	var spent int64
+	for _, q := range queues {
+		if q.Curve == nil {
+			return nil, fmt.Errorf("solver: queue %q has no curve", q.ID)
+		}
+		if q.Weight == 0 {
+			q.Weight = 1
+		}
+		curve := q.Curve
+		if opts.Concavify {
+			curve = curve.ConcaveHull()
+		}
+		maxSize := q.MaxSize
+		if maxSize <= 0 {
+			maxSize = budget
+		}
+		st := &state{q: q, curve: curve, alloc: q.MinSize, max: maxSize}
+		spent += st.alloc
+		states = append(states, st)
+	}
+	if spent > budget {
+		return nil, fmt.Errorf("solver: minimum sizes (%d) exceed budget (%d)", spent, budget)
+	}
+
+	gain := func(st *state) float64 {
+		next := st.alloc + step
+		if next > st.max {
+			return -1
+		}
+		return st.q.Weight * st.q.Frequency * (st.curve.At(next) - st.curve.At(st.alloc))
+	}
+
+	pq := &gainHeap{}
+	heap.Init(pq)
+	for _, st := range states {
+		if g := gain(st); g >= 0 {
+			heap.Push(pq, gainItem{state: st, gain: g})
+		}
+	}
+	for spent+step <= budget && pq.Len() > 0 {
+		item := heap.Pop(pq).(gainItem)
+		st := item.state.(*state)
+		// The gain may be stale if the state advanced since it was pushed;
+		// since each state has exactly one outstanding entry, it cannot be
+		// stale here, but guard against zero-gain starvation by stopping
+		// when the best remaining gain is zero and every curve is flat.
+		st.alloc += step
+		spent += step
+		if g := gain(st); g >= 0 {
+			heap.Push(pq, gainItem{state: st, gain: g})
+		}
+	}
+
+	res := &Result{
+		Allocations:       make(map[string]int64, len(states)),
+		PredictedHitRates: make(map[string]float64, len(states)),
+		Spent:             spent,
+	}
+	var freqSum, weighted float64
+	for _, st := range states {
+		res.Allocations[st.q.ID] = st.alloc
+		hr := st.curve.At(st.alloc)
+		res.PredictedHitRates[st.q.ID] = hr
+		freqSum += st.q.Frequency
+		weighted += st.q.Frequency * hr
+	}
+	if freqSum > 0 {
+		res.PredictedOverall = weighted / freqSum
+	}
+	return res, nil
+}
+
+// EqualSplit returns the baseline allocation that divides the budget evenly
+// across queues (respecting MaxSize), used as a sanity baseline in tests.
+func EqualSplit(queues []Queue, budget int64) map[string]int64 {
+	out := make(map[string]int64, len(queues))
+	if len(queues) == 0 {
+		return out
+	}
+	share := budget / int64(len(queues))
+	for _, q := range queues {
+		alloc := share
+		if q.MaxSize > 0 && alloc > q.MaxSize {
+			alloc = q.MaxSize
+		}
+		out[q.ID] = alloc
+	}
+	return out
+}
+
+// ProportionalSplit allocates the budget proportionally to request
+// frequency, modelling the intuition "give memory to whoever asks most",
+// which is roughly what first-come-first-serve converges to for equal-sized
+// items.
+func ProportionalSplit(queues []Queue, budget int64) map[string]int64 {
+	out := make(map[string]int64, len(queues))
+	var total float64
+	for _, q := range queues {
+		total += q.Frequency
+	}
+	if total == 0 {
+		return EqualSplit(queues, budget)
+	}
+	for _, q := range queues {
+		out[q.ID] = int64(float64(budget) * q.Frequency / total)
+	}
+	return out
+}
+
+// gainItem and gainHeap implement a max-heap on marginal gain.
+type gainItem struct {
+	state any
+	gain  float64
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int           { return len(h) }
+func (h gainHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)        { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

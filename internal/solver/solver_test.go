@@ -1,0 +1,286 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cliffhanger/internal/stackdist"
+)
+
+func mustCurve(t testing.TB, sizes []int64, rates []float64) *stackdist.Curve {
+	t.Helper()
+	c, err := stackdist.NewCurve(sizes, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSolveFavorsSteeperCurve(t *testing.T) {
+	// Queue A saturates quickly (steep then flat); queue B is linear.
+	// With a budget of 200 the optimum is to give A ~100 and B the rest.
+	a := mustCurve(t, []int64{0, 100, 200}, []float64{0, 0.9, 0.92})
+	b := mustCurve(t, []int64{0, 100, 200}, []float64{0, 0.2, 0.4})
+	res, err := Solve([]Queue{
+		{ID: "a", Curve: a, Frequency: 1},
+		{ID: "b", Curve: b, Frequency: 1},
+	}, 200, Options{Step: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocations["a"] < 90 || res.Allocations["a"] > 120 {
+		t.Fatalf("allocation to a = %d, want ~100", res.Allocations["a"])
+	}
+	if res.Spent > 200 {
+		t.Fatalf("spent %d exceeds budget", res.Spent)
+	}
+	if res.PredictedOverall < 0.5 {
+		t.Fatalf("predicted overall %v too low", res.PredictedOverall)
+	}
+}
+
+func TestSolveRespectsFrequencyWeighting(t *testing.T) {
+	// Identical curves, but queue hot receives 9x the requests: it should
+	// receive at least as much memory.
+	c := mustCurve(t, []int64{0, 50, 100, 200, 400}, []float64{0, 0.3, 0.5, 0.7, 0.8})
+	res, err := Solve([]Queue{
+		{ID: "hot", Curve: c, Frequency: 0.9},
+		{ID: "cold", Curve: c.Clone(), Frequency: 0.1},
+	}, 400, Options{Step: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocations["hot"] < res.Allocations["cold"] {
+		t.Fatalf("hot queue got %d < cold queue %d", res.Allocations["hot"], res.Allocations["cold"])
+	}
+}
+
+func TestSolveRespectsWeights(t *testing.T) {
+	c := mustCurve(t, []int64{0, 50, 100, 200, 400}, []float64{0, 0.3, 0.5, 0.7, 0.8})
+	res, err := Solve([]Queue{
+		{ID: "prod", Curve: c, Frequency: 0.5, Weight: 10},
+		{ID: "dev", Curve: c.Clone(), Frequency: 0.5, Weight: 1},
+	}, 300, Options{Step: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocations["prod"] <= res.Allocations["dev"] {
+		t.Fatalf("weighted queue should receive more memory: prod=%d dev=%d",
+			res.Allocations["prod"], res.Allocations["dev"])
+	}
+}
+
+func TestSolveMinAndMaxSize(t *testing.T) {
+	c := mustCurve(t, []int64{0, 100, 200}, []float64{0, 0.9, 0.95})
+	flat := mustCurve(t, []int64{0, 100, 200}, []float64{0, 0.01, 0.02})
+	res, err := Solve([]Queue{
+		{ID: "capped", Curve: c, Frequency: 1, MaxSize: 50},
+		{ID: "floored", Curve: flat, Frequency: 0.01, MinSize: 40},
+	}, 200, Options{Step: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocations["capped"] > 50 {
+		t.Fatalf("MaxSize violated: %d", res.Allocations["capped"])
+	}
+	if res.Allocations["floored"] < 40 {
+		t.Fatalf("MinSize violated: %d", res.Allocations["floored"])
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(nil, 100, Options{}); err == nil {
+		t.Fatalf("empty queue set should error")
+	}
+	c := mustCurve(t, []int64{0, 10}, []float64{0, 1})
+	if _, err := Solve([]Queue{{ID: "x", Curve: c, Frequency: 1}}, 0, Options{}); err == nil {
+		t.Fatalf("zero budget should error")
+	}
+	if _, err := Solve([]Queue{{ID: "x", Frequency: 1}}, 100, Options{}); err == nil {
+		t.Fatalf("nil curve should error")
+	}
+	if _, err := Solve([]Queue{{ID: "x", Curve: c, Frequency: 1, MinSize: 200}}, 100, Options{}); err == nil {
+		t.Fatalf("min sizes above budget should error")
+	}
+}
+
+func TestSolveCliffWithAndWithoutConcavify(t *testing.T) {
+	// A cliff curve: nearly nothing until 1000, then jumps to 0.9.
+	cliff := mustCurve(t,
+		[]int64{0, 250, 500, 750, 999, 1000, 1500},
+		[]float64{0, 0.02, 0.04, 0.06, 0.08, 0.9, 0.92})
+	// A modest concave competitor.
+	concave := mustCurve(t, []int64{0, 500, 1000, 1500}, []float64{0, 0.3, 0.4, 0.45})
+
+	queues := []Queue{
+		{ID: "cliff", Curve: cliff, Frequency: 0.5},
+		{ID: "concave", Curve: concave, Frequency: 0.5},
+	}
+	// Without concavification, greedy marginal gain undervalues the cliff
+	// queue (slope before the cliff is tiny) and starves it.
+	raw, err := Solve(queues, 1500, Options{Step: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With concavification, the hull makes the cliff queue's early slope
+	// attractive (0.9/1000 per unit) and it gets pushed past the cliff.
+	hull, err := Solve(queues, 1500, Options{Step: 50, Concavify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Allocations["cliff"] >= 1000 {
+		t.Fatalf("raw solver unexpectedly crossed the cliff: %d", raw.Allocations["cliff"])
+	}
+	if hull.Allocations["cliff"] < 1000 {
+		t.Fatalf("concavified solver should cross the cliff, got %d", hull.Allocations["cliff"])
+	}
+	// The realized (raw-curve) hit rate of the concavified allocation must
+	// beat the raw allocation for the cliff queue.
+	if cliff.At(hull.Allocations["cliff"]) <= cliff.At(raw.Allocations["cliff"]) {
+		t.Fatalf("concavified allocation should realize a higher hit rate on the cliff queue")
+	}
+}
+
+// TestSolveNeverExceedsBudget is a property test over random concave curves.
+func TestSolveNeverExceedsBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		queues := make([]Queue, n)
+		for i := 0; i < n; i++ {
+			sizes := []int64{0}
+			rates := []float64{0}
+			var size int64
+			rate := 0.0
+			for j := 0; j < 6; j++ {
+				size += int64(10 + rng.Intn(100))
+				rate += (1 - rate) * rng.Float64() * 0.5
+				sizes = append(sizes, size)
+				rates = append(rates, rate)
+			}
+			c, err := stackdist.NewCurve(sizes, rates)
+			if err != nil {
+				return false
+			}
+			queues[i] = Queue{ID: string(rune('a' + i)), Curve: c, Frequency: rng.Float64() + 0.01}
+		}
+		budget := int64(100 + rng.Intn(2000))
+		res, err := Solve(queues, budget, Options{Step: int64(1 + rng.Intn(50))})
+		if err != nil {
+			return false
+		}
+		if res.Spent > budget {
+			return false
+		}
+		var sum int64
+		for _, a := range res.Allocations {
+			if a < 0 {
+				return false
+			}
+			sum += a
+		}
+		return sum == res.Spent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveOptimalityOnConcaveCurves checks that greedy water-filling
+// matches (within one step) an exhaustive search on a small two-queue
+// concave instance.
+func TestSolveOptimalityOnConcaveCurves(t *testing.T) {
+	a := mustCurve(t, []int64{0, 20, 40, 60, 80, 100}, []float64{0, 0.40, 0.60, 0.72, 0.80, 0.85})
+	b := mustCurve(t, []int64{0, 20, 40, 60, 80, 100}, []float64{0, 0.25, 0.45, 0.60, 0.70, 0.78})
+	fa, fb := 0.6, 0.4
+	budget := int64(100)
+	step := int64(5)
+
+	best := -1.0
+	for x := int64(0); x <= budget; x += step {
+		v := fa*a.At(x) + fb*b.At(budget-x)
+		if v > best {
+			best = v
+		}
+	}
+	res, err := Solve([]Queue{
+		{ID: "a", Curve: a, Frequency: fa},
+		{ID: "b", Curve: b, Frequency: fb},
+	}, budget, Options{Step: step})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fa*a.At(res.Allocations["a"]) + fb*b.At(res.Allocations["b"])
+	if best-got > 0.02 {
+		t.Fatalf("greedy objective %v vs exhaustive optimum %v", got, best)
+	}
+}
+
+func TestEqualAndProportionalSplit(t *testing.T) {
+	c := mustCurve(t, []int64{0, 10}, []float64{0, 1})
+	queues := []Queue{
+		{ID: "a", Curve: c, Frequency: 3},
+		{ID: "b", Curve: c, Frequency: 1},
+	}
+	eq := EqualSplit(queues, 100)
+	if eq["a"] != 50 || eq["b"] != 50 {
+		t.Fatalf("EqualSplit = %v", eq)
+	}
+	prop := ProportionalSplit(queues, 100)
+	if prop["a"] != 75 || prop["b"] != 25 {
+		t.Fatalf("ProportionalSplit = %v", prop)
+	}
+	if got := ProportionalSplit([]Queue{{ID: "x"}, {ID: "y"}}, 10); got["x"] != 5 {
+		t.Fatalf("zero-frequency fallback = %v", got)
+	}
+	if got := EqualSplit(nil, 10); len(got) != 0 {
+		t.Fatalf("EqualSplit(nil) = %v", got)
+	}
+	capped := EqualSplit([]Queue{{ID: "a", MaxSize: 3}, {ID: "b"}}, 100)
+	if capped["a"] != 3 {
+		t.Fatalf("EqualSplit should respect MaxSize, got %v", capped)
+	}
+}
+
+func TestSolvePredictedOverallMatchesAllocations(t *testing.T) {
+	a := mustCurve(t, []int64{0, 100}, []float64{0, 0.8})
+	b := mustCurve(t, []int64{0, 100}, []float64{0, 0.4})
+	res, err := Solve([]Queue{
+		{ID: "a", Curve: a, Frequency: 2},
+		{ID: "b", Curve: b, Frequency: 2},
+	}, 200, Options{Step: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2*a.At(res.Allocations["a"]) + 2*b.At(res.Allocations["b"])) / 4
+	if math.Abs(res.PredictedOverall-want) > 1e-9 {
+		t.Fatalf("PredictedOverall = %v, want %v", res.PredictedOverall, want)
+	}
+}
+
+func BenchmarkSolve20Queues(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	queues := make([]Queue, 20)
+	for i := range queues {
+		sizes := []int64{0}
+		rates := []float64{0}
+		var size int64
+		rate := 0.0
+		for j := 0; j < 50; j++ {
+			size += int64(10 + rng.Intn(100))
+			rate += (1 - rate) * rng.Float64() * 0.2
+			sizes = append(sizes, size)
+			rates = append(rates, rate)
+		}
+		c, _ := stackdist.NewCurve(sizes, rates)
+		queues[i] = Queue{ID: string(rune('a' + i)), Curve: c, Frequency: rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(queues, 20000, Options{Step: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package stackdist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Curve is a sampled hit-rate curve: HitRates[i] is the hit rate achieved by
+// a queue of Sizes[i] items (or cost units). Sizes are strictly increasing
+// and hit rates are non-decreasing (LRU inclusion property).
+type Curve struct {
+	Sizes    []int64
+	HitRates []float64
+}
+
+// NewCurve builds a curve from parallel slices, sorting by size and
+// validating monotonicity of sizes.
+func NewCurve(sizes []int64, hitRates []float64) (*Curve, error) {
+	if len(sizes) != len(hitRates) {
+		return nil, fmt.Errorf("stackdist: %d sizes but %d hit rates", len(sizes), len(hitRates))
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("stackdist: empty curve")
+	}
+	idx := make([]int, len(sizes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return sizes[idx[a]] < sizes[idx[b]] })
+	c := &Curve{
+		Sizes:    make([]int64, 0, len(sizes)),
+		HitRates: make([]float64, 0, len(sizes)),
+	}
+	for _, i := range idx {
+		if n := len(c.Sizes); n > 0 && c.Sizes[n-1] == sizes[i] {
+			c.HitRates[n-1] = hitRates[i]
+			continue
+		}
+		c.Sizes = append(c.Sizes, sizes[i])
+		c.HitRates = append(c.HitRates, hitRates[i])
+	}
+	return c, nil
+}
+
+// Len reports the number of sample points.
+func (c *Curve) Len() int { return len(c.Sizes) }
+
+// MaxSize returns the largest sampled size.
+func (c *Curve) MaxSize() int64 {
+	if len(c.Sizes) == 0 {
+		return 0
+	}
+	return c.Sizes[len(c.Sizes)-1]
+}
+
+// At returns the hit rate at the given size, linearly interpolating between
+// sample points and clamping outside the sampled range.
+func (c *Curve) At(size int64) float64 {
+	n := len(c.Sizes)
+	if n == 0 {
+		return 0
+	}
+	if size <= c.Sizes[0] {
+		if c.Sizes[0] == 0 {
+			return c.HitRates[0]
+		}
+		// Interpolate from the origin (size 0 -> hit rate 0).
+		return c.HitRates[0] * float64(size) / float64(c.Sizes[0])
+	}
+	if size >= c.Sizes[n-1] {
+		return c.HitRates[n-1]
+	}
+	i := sort.Search(n, func(i int) bool { return c.Sizes[i] >= size })
+	x0, x1 := c.Sizes[i-1], c.Sizes[i]
+	y0, y1 := c.HitRates[i-1], c.HitRates[i]
+	frac := float64(size-x0) / float64(x1-x0)
+	return y0 + frac*(y1-y0)
+}
+
+// Gradient returns the slope of the curve (hit rate per unit of size) at the
+// given size, estimated over a window of delta units to the right.
+func (c *Curve) Gradient(size, delta int64) float64 {
+	if delta <= 0 {
+		delta = 1
+	}
+	return (c.At(size+delta) - c.At(size)) / float64(delta)
+}
+
+// ConcaveHull returns the upper concave hull of the curve: the smallest
+// concave function that dominates every sample point, anchored at the origin.
+// This is the curve Talus-style partitioning can achieve by splitting the
+// queue in two (§4.2 of the paper).
+func (c *Curve) ConcaveHull() *Curve {
+	type pt struct {
+		x int64
+		y float64
+	}
+	pts := make([]pt, 0, len(c.Sizes)+1)
+	if len(c.Sizes) == 0 || c.Sizes[0] != 0 {
+		pts = append(pts, pt{0, 0})
+	}
+	for i := range c.Sizes {
+		pts = append(pts, pt{c.Sizes[i], c.HitRates[i]})
+	}
+	// Monotone-chain upper hull: keep turning clockwise (slopes
+	// non-increasing).
+	hull := make([]pt, 0, len(pts))
+	for _, p := range pts {
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			// Cross product of (b-a) x (p-a); >= 0 means b is below or on
+			// the segment a-p, so b is not a hull vertex.
+			cross := float64(b.x-a.x)*(p.y-a.y) - (b.y-a.y)*float64(p.x-a.x)
+			if cross >= 0 {
+				hull = hull[:len(hull)-1]
+				continue
+			}
+			break
+		}
+		hull = append(hull, p)
+	}
+	out := &Curve{
+		Sizes:    make([]int64, len(hull)),
+		HitRates: make([]float64, len(hull)),
+	}
+	for i, p := range hull {
+		out.Sizes[i] = p.x
+		out.HitRates[i] = p.y
+	}
+	return out
+}
+
+// IsConcave reports whether the curve's slopes are non-increasing within the
+// given tolerance on slope differences. Curves with performance cliffs
+// (convex regions) return false.
+func (c *Curve) IsConcave(tolerance float64) bool {
+	prevSlope := 0.0
+	first := true
+	lastX, lastY := int64(0), 0.0
+	for i := range c.Sizes {
+		dx := float64(c.Sizes[i] - lastX)
+		if dx <= 0 {
+			continue
+		}
+		slope := (c.HitRates[i] - lastY) / dx
+		if !first && slope > prevSlope+tolerance {
+			return false
+		}
+		prevSlope = slope
+		first = false
+		lastX, lastY = c.Sizes[i], c.HitRates[i]
+	}
+	return true
+}
+
+// CliffRegions returns the convex regions of the curve, i.e. maximal size
+// intervals [Start, End] where the concave hull strictly dominates the curve
+// by more than minGap in hit rate somewhere inside the interval. These are
+// the performance cliffs of §3.5.
+func (c *Curve) CliffRegions(minGap float64) []CliffRegion {
+	hull := c.ConcaveHull()
+	var regions []CliffRegion
+	var cur *CliffRegion
+	for i := range c.Sizes {
+		gap := hull.At(c.Sizes[i]) - c.HitRates[i]
+		if gap > minGap {
+			if cur == nil {
+				cur = &CliffRegion{Start: c.Sizes[i], MaxGap: gap}
+				if i > 0 {
+					cur.Start = c.Sizes[i-1]
+				}
+			}
+			if gap > cur.MaxGap {
+				cur.MaxGap = gap
+			}
+			cur.End = c.Sizes[i]
+		} else if cur != nil {
+			cur.End = c.Sizes[i]
+			regions = append(regions, *cur)
+			cur = nil
+		}
+	}
+	if cur != nil {
+		cur.End = c.MaxSize()
+		regions = append(regions, *cur)
+	}
+	return regions
+}
+
+// CliffRegion describes one performance cliff: a size interval in which the
+// raw hit-rate curve lies below its concave hull.
+type CliffRegion struct {
+	Start  int64   // size where the cliff begins
+	End    int64   // size where the curve rejoins the hull
+	MaxGap float64 // largest hull-minus-curve gap inside the region
+}
+
+// HasCliff reports whether the curve has at least one performance cliff with
+// a hull gap larger than minGap.
+func (c *Curve) HasCliff(minGap float64) bool {
+	return len(c.CliffRegions(minGap)) > 0
+}
+
+// Scale returns a copy of the curve with every size multiplied by factor.
+// It is used to convert item-count curves into byte curves (factor = chunk
+// size) and vice versa.
+func (c *Curve) Scale(factor int64) *Curve {
+	out := &Curve{
+		Sizes:    make([]int64, len(c.Sizes)),
+		HitRates: append([]float64(nil), c.HitRates...),
+	}
+	for i, s := range c.Sizes {
+		out.Sizes[i] = s * factor
+	}
+	return out
+}
+
+// Clone returns a deep copy of the curve.
+func (c *Curve) Clone() *Curve {
+	return &Curve{
+		Sizes:    append([]int64(nil), c.Sizes...),
+		HitRates: append([]float64(nil), c.HitRates...),
+	}
+}

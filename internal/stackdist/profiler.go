@@ -1,0 +1,50 @@
+package stackdist
+
+// Profiler couples a stack-distance estimator with a histogram, producing
+// hit-rate curves for a single request stream (one slab class or one
+// application). The Dynacache solver baseline builds one Profiler per queue
+// it optimizes.
+type Profiler struct {
+	exact     *Calculator
+	approx    *BucketEstimator
+	hist      *Histogram
+	useApprox bool
+}
+
+// NewProfiler returns a profiler using the exact Mattson calculator.
+func NewProfiler() *Profiler {
+	return &Profiler{exact: NewCalculator(), hist: NewHistogram()}
+}
+
+// NewApproxProfiler returns a profiler using the Mimir-style bucket
+// estimator with the given number of buckets (the paper used 100).
+func NewApproxProfiler(buckets int) *Profiler {
+	return &Profiler{
+		approx:    NewBucketEstimator(buckets, 0),
+		hist:      NewHistogram(),
+		useApprox: true,
+	}
+}
+
+// Access records one request for key.
+func (p *Profiler) Access(key string) {
+	var d int64
+	if p.useApprox {
+		d = p.approx.Access(key)
+	} else {
+		d = p.exact.Access(key)
+	}
+	p.hist.Record(d)
+}
+
+// Histogram exposes the accumulated reuse-distance histogram.
+func (p *Profiler) Histogram() *Histogram { return p.hist }
+
+// Curve returns the hit-rate curve sampled at `points` sizes up to maxSize
+// items (0 means the largest observed distance).
+func (p *Profiler) Curve(maxSize int64, points int) *Curve {
+	return p.hist.Curve(maxSize, points)
+}
+
+// Requests reports the number of recorded requests.
+func (p *Profiler) Requests() int64 { return p.hist.Total() }

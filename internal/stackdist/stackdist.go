@@ -1,0 +1,210 @@
+// Package stackdist computes LRU stack distances, hit-rate curves and
+// concave hulls.
+//
+// The stack distance of a request is the rank of its key in an
+// infinite-capacity LRU stack, counted from the top (Mattson et al., §2.1 of
+// the paper): a stack distance of 1 means the key was the most recently used
+// item; a distance of d means the request would hit in any LRU queue holding
+// at least d items. First-ever accesses have infinite stack distance
+// (compulsory misses). A histogram of stack distances therefore yields the
+// entire hit-rate curve h(m) for every queue size m, which is what the
+// Dynacache solver baseline consumes.
+//
+// Two estimators are provided:
+//
+//   - Calculator: exact distances in O(log n) per request using a Fenwick
+//     tree over access timestamps.
+//   - BucketEstimator: a Mimir-style approximation (Saemundsson et al.) that
+//     buckets the LRU stack into B groups and costs O(B) per request,
+//     matching the approach the paper says Dynacache used.
+package stackdist
+
+import "math"
+
+// Infinite is the stack distance reported for a key's first access.
+const Infinite = int64(math.MaxInt64)
+
+// Calculator computes exact LRU stack distances for a stream of keys.
+// It is not safe for concurrent use.
+type Calculator struct {
+	lastPos map[string]int // key -> last access position (1-based)
+	marks   []int64        // marks[i] == 1 iff position i is some key's latest access
+	tree    []int64        // Fenwick tree over marks
+	now     int            // number of accesses processed
+}
+
+// NewCalculator returns an empty exact stack-distance calculator.
+func NewCalculator() *Calculator {
+	return &Calculator{
+		lastPos: make(map[string]int),
+		marks:   make([]int64, 1),
+		tree:    make([]int64, 1),
+	}
+}
+
+// Access records an access to key and returns its stack distance, or
+// Infinite if the key has never been accessed before.
+func (c *Calculator) Access(key string) int64 {
+	c.now++
+	c.grow(c.now)
+	prev, seen := c.lastPos[key]
+	dist := Infinite
+	if seen {
+		// Distinct keys accessed strictly after prev = marks in (prev, now).
+		dist = c.rangeSum(prev+1, c.now-1) + 1
+		c.update(prev, -1)
+	}
+	c.update(c.now, +1)
+	c.lastPos[key] = c.now
+	return dist
+}
+
+// Distinct reports the number of distinct keys seen so far.
+func (c *Calculator) Distinct() int { return len(c.lastPos) }
+
+// Accesses reports the number of accesses processed so far.
+func (c *Calculator) Accesses() int { return c.now }
+
+// grow extends the Fenwick tree to cover position n, rebuilding it from the
+// raw marks array when the backing storage doubles. Rebuilds are O(size) but
+// happen only O(log n) times, so the amortized cost per access stays O(log n).
+func (c *Calculator) grow(n int) {
+	if len(c.tree) > n {
+		return
+	}
+	size := len(c.tree)
+	for size <= n {
+		size *= 2
+	}
+	marks := make([]int64, size)
+	copy(marks, c.marks)
+	c.marks = marks
+	c.tree = make([]int64, size)
+	// Standard O(size) Fenwick construction.
+	for i := 1; i < size; i++ {
+		c.tree[i] += c.marks[i]
+		if j := i + (i & (-i)); j < size {
+			c.tree[j] += c.tree[i]
+		}
+	}
+}
+
+func (c *Calculator) update(i int, delta int64) {
+	c.marks[i] += delta
+	for ; i < len(c.tree); i += i & (-i) {
+		c.tree[i] += delta
+	}
+}
+
+func (c *Calculator) prefixSum(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += c.tree[i]
+	}
+	return s
+}
+
+func (c *Calculator) rangeSum(lo, hi int) int64 {
+	if hi < lo {
+		return 0
+	}
+	return c.prefixSum(hi) - c.prefixSum(lo-1)
+}
+
+// Histogram accumulates stack distances into a reuse-distance histogram from
+// which hit-rate curves are derived.
+type Histogram struct {
+	counts     map[int64]int64
+	coldMisses int64
+	total      int64
+	maxDist    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int64]int64)}
+}
+
+// Record adds one observation. Pass Infinite for compulsory misses.
+func (h *Histogram) Record(dist int64) {
+	h.total++
+	if dist == Infinite {
+		h.coldMisses++
+		return
+	}
+	h.counts[dist]++
+	if dist > h.maxDist {
+		h.maxDist = dist
+	}
+}
+
+// Total reports the number of recorded observations (including cold misses).
+func (h *Histogram) Total() int64 { return h.total }
+
+// ColdMisses reports the number of infinite-distance observations.
+func (h *Histogram) ColdMisses() int64 { return h.coldMisses }
+
+// MaxDistance reports the largest finite distance recorded (0 if none).
+func (h *Histogram) MaxDistance() int64 { return h.maxDist }
+
+// HitRate returns the hit rate an LRU queue of the given size (in items)
+// would have achieved over the recorded stream: the fraction of observations
+// with stack distance <= size.
+func (h *Histogram) HitRate(size int64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var hits int64
+	for d, c := range h.counts {
+		if d <= size {
+			hits += c
+		}
+	}
+	return float64(hits) / float64(h.total)
+}
+
+// Curve converts the histogram into a hit-rate curve sampled at `points`
+// evenly spaced sizes between 0 and maxSize (inclusive). If maxSize is 0 the
+// largest recorded distance is used.
+func (h *Histogram) Curve(maxSize int64, points int) *Curve {
+	if maxSize <= 0 {
+		maxSize = h.maxDist
+	}
+	if points < 2 {
+		points = 2
+	}
+	// Build a cumulative distribution once for efficiency.
+	cum := make([]int64, maxSize+2)
+	for d, c := range h.counts {
+		if d <= maxSize {
+			cum[d] += c
+		}
+	}
+	for i := int64(1); i <= maxSize; i++ {
+		cum[i] += cum[i-1]
+	}
+	curve := &Curve{
+		Sizes:    make([]int64, 0, points+1),
+		HitRates: make([]float64, 0, points+1),
+	}
+	total := float64(h.total)
+	if total == 0 {
+		total = 1
+	}
+	step := float64(maxSize) / float64(points)
+	if step < 1 {
+		step = 1
+	}
+	for s := float64(0); ; s += step {
+		size := int64(math.Round(s))
+		if size > maxSize {
+			size = maxSize
+		}
+		curve.Sizes = append(curve.Sizes, size)
+		curve.HitRates = append(curve.HitRates, float64(cum[size])/total)
+		if size == maxSize {
+			break
+		}
+	}
+	return curve
+}

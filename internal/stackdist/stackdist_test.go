@@ -1,0 +1,361 @@
+package stackdist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cliffhanger/internal/cache"
+)
+
+func TestCalculatorKnownSequence(t *testing.T) {
+	c := NewCalculator()
+	// Sequence: a b c a b c a
+	// a: inf, b: inf, c: inf, a: 3, b: 3, c: 3, a: 3
+	seq := []string{"a", "b", "c", "a", "b", "c", "a"}
+	want := []int64{Infinite, Infinite, Infinite, 3, 3, 3, 3}
+	for i, k := range seq {
+		if got := c.Access(k); got != want[i] {
+			t.Fatalf("access %d (%s): distance %d, want %d", i, k, got, want[i])
+		}
+	}
+	if c.Distinct() != 3 || c.Accesses() != 7 {
+		t.Fatalf("Distinct=%d Accesses=%d, want 3,7", c.Distinct(), c.Accesses())
+	}
+}
+
+func TestCalculatorImmediateReuse(t *testing.T) {
+	c := NewCalculator()
+	c.Access("x")
+	if got := c.Access("x"); got != 1 {
+		t.Fatalf("immediate reuse distance = %d, want 1", got)
+	}
+}
+
+func TestCalculatorSequentialScanIsInfinite(t *testing.T) {
+	c := NewCalculator()
+	for i := 0; i < 1000; i++ {
+		if got := c.Access(fmt.Sprintf("k%d", i)); got != Infinite {
+			t.Fatalf("first access must have infinite distance, got %d", got)
+		}
+	}
+	// Second scan: every key has distance exactly 1000.
+	for i := 0; i < 1000; i++ {
+		if got := c.Access(fmt.Sprintf("k%d", i)); got != 1000 {
+			t.Fatalf("cyclic scan distance = %d, want 1000", got)
+		}
+	}
+}
+
+// TestCalculatorMatchesLRUSimulation is the fundamental correctness check:
+// a request hits an LRU of capacity C iff its exact stack distance is <= C.
+func TestCalculatorMatchesLRUSimulation(t *testing.T) {
+	for _, capacity := range []int64{1, 4, 16, 64} {
+		capacity := capacity
+		t.Run(fmt.Sprintf("cap%d", capacity), func(t *testing.T) {
+			calc := NewCalculator()
+			lru := cache.NewLRU(capacity)
+			rng := rand.New(rand.NewSource(capacity))
+			zipf := rand.NewZipf(rng, 1.2, 1, 500)
+			for i := 0; i < 20000; i++ {
+				key := fmt.Sprintf("k%d", zipf.Uint64())
+				dist := calc.Access(key)
+				hit, _ := lru.Access(key, 1)
+				wantHit := dist != Infinite && dist <= capacity
+				if hit != wantHit {
+					t.Fatalf("request %d key %s: LRU hit=%v but stack distance %d (cap %d)", i, key, hit, dist, capacity)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramHitRate(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1)
+	h.Record(2)
+	h.Record(5)
+	h.Record(Infinite)
+	if got := h.HitRate(2); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("HitRate(2) = %v, want 0.5", got)
+	}
+	if got := h.HitRate(5); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("HitRate(5) = %v, want 0.75", got)
+	}
+	if h.ColdMisses() != 1 || h.Total() != 4 || h.MaxDistance() != 5 {
+		t.Fatalf("ColdMisses=%d Total=%d Max=%d", h.ColdMisses(), h.Total(), h.MaxDistance())
+	}
+}
+
+func TestHistogramCurveMonotone(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		h.Record(int64(1 + rng.Intn(1000)))
+	}
+	curve := h.Curve(0, 50)
+	for i := 1; i < curve.Len(); i++ {
+		if curve.HitRates[i] < curve.HitRates[i-1] {
+			t.Fatalf("hit-rate curve must be non-decreasing, dipped at %d", i)
+		}
+		if curve.Sizes[i] <= curve.Sizes[i-1] {
+			t.Fatalf("curve sizes must be strictly increasing at %d: %v", i, curve.Sizes[i-1:i+1])
+		}
+	}
+	if last := curve.HitRates[curve.Len()-1]; math.Abs(last-1.0) > 1e-9 {
+		t.Fatalf("curve should reach 1.0 at max distance, got %v", last)
+	}
+}
+
+func TestCurveAtInterpolation(t *testing.T) {
+	c, err := NewCurve([]int64{100, 200, 400}, []float64{0.2, 0.4, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		size int64
+		want float64
+	}{
+		{0, 0},
+		{50, 0.1},  // interpolated from origin
+		{100, 0.2}, // exact point
+		{150, 0.3}, // interpolated
+		{300, 0.6},
+		{400, 0.8},
+		{999, 0.8}, // clamped
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.size); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("At(%d) = %v, want %v", cse.size, got, cse.want)
+		}
+	}
+}
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve([]int64{1}, []float64{0.1, 0.2}); err == nil {
+		t.Fatalf("mismatched lengths should error")
+	}
+	if _, err := NewCurve(nil, nil); err == nil {
+		t.Fatalf("empty curve should error")
+	}
+	// Unsorted input gets sorted; duplicate sizes keep the last value.
+	c, err := NewCurve([]int64{200, 100, 200}, []float64{0.5, 0.2, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Sizes[0] != 100 || math.Abs(c.HitRates[1]-0.6) > 1e-9 {
+		t.Fatalf("unexpected normalized curve: %+v", c)
+	}
+}
+
+func TestCurveGradient(t *testing.T) {
+	c, _ := NewCurve([]int64{0, 100, 200}, []float64{0, 0.5, 0.6})
+	if g := c.Gradient(0, 100); math.Abs(g-0.005) > 1e-9 {
+		t.Fatalf("Gradient(0) = %v, want 0.005", g)
+	}
+	if g := c.Gradient(100, 100); math.Abs(g-0.001) > 1e-9 {
+		t.Fatalf("Gradient(100) = %v, want 0.001", g)
+	}
+	if g := c.Gradient(200, 100); g != 0 {
+		t.Fatalf("Gradient beyond max = %v, want 0", g)
+	}
+}
+
+func TestConcaveHullOfCliffCurve(t *testing.T) {
+	// A step-function (cliff) curve: flat at 0.1 until 1000 items, then
+	// jumps to 0.9. The concave hull should be the straight line from the
+	// origin through (1000, 0.9) and then flat.
+	sizes := []int64{100, 500, 900, 999, 1000, 1500, 2000}
+	rates := []float64{0.1, 0.1, 0.1, 0.1, 0.9, 0.9, 0.9}
+	c, _ := NewCurve(sizes, rates)
+	if c.IsConcave(1e-9) {
+		t.Fatalf("cliff curve should not be concave")
+	}
+	hull := c.ConcaveHull()
+	// Hull must dominate the curve everywhere.
+	for s := int64(0); s <= 2000; s += 50 {
+		if hull.At(s)+1e-9 < c.At(s) {
+			t.Fatalf("hull below curve at %d: hull=%v curve=%v", s, hull.At(s), c.At(s))
+		}
+	}
+	// At 500 items the hull should be the interpolation 0.45, much higher
+	// than the raw 0.1.
+	if got := hull.At(500); math.Abs(got-0.45) > 0.02 {
+		t.Fatalf("hull at 500 = %v, want ~0.45", got)
+	}
+	if !hull.IsConcave(1e-6) {
+		t.Fatalf("concave hull must be concave")
+	}
+	if !c.HasCliff(0.05) {
+		t.Fatalf("HasCliff should detect the step")
+	}
+	regions := c.CliffRegions(0.05)
+	if len(regions) != 1 {
+		t.Fatalf("expected 1 cliff region, got %d", len(regions))
+	}
+	if regions[0].End < 900 || regions[0].Start > 900 {
+		t.Fatalf("cliff region %+v should span the step below 1000", regions[0])
+	}
+}
+
+func TestConcaveCurveHullIsIdentityLike(t *testing.T) {
+	// A concave curve's hull should match the curve (within interpolation).
+	sizes := []int64{0, 100, 200, 400, 800}
+	rates := []float64{0, 0.5, 0.7, 0.85, 0.9}
+	c, _ := NewCurve(sizes, rates)
+	if !c.IsConcave(1e-9) {
+		t.Fatalf("test curve should be concave")
+	}
+	hull := c.ConcaveHull()
+	for _, s := range sizes {
+		if math.Abs(hull.At(s)-c.At(s)) > 1e-9 {
+			t.Fatalf("hull differs from concave curve at %d: %v vs %v", s, hull.At(s), c.At(s))
+		}
+	}
+	if c.HasCliff(0.01) {
+		t.Fatalf("concave curve should not report cliffs")
+	}
+}
+
+// TestConcaveHullProperty: for random monotone curves, the hull dominates the
+// curve, is concave, and agrees at size 0 and max size.
+func TestConcaveHullProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		sizes := make([]int64, n)
+		rates := make([]float64, n)
+		var size int64
+		var rate float64
+		for i := 0; i < n; i++ {
+			size += int64(1 + rng.Intn(100))
+			rate += rng.Float64() * (1 - rate) * 0.3
+			sizes[i] = size
+			rates[i] = rate
+		}
+		c, err := NewCurve(sizes, rates)
+		if err != nil {
+			return false
+		}
+		hull := c.ConcaveHull()
+		if !hull.IsConcave(1e-6) {
+			return false
+		}
+		for _, s := range sizes {
+			if hull.At(s)+1e-9 < c.At(s) {
+				return false
+			}
+		}
+		if math.Abs(hull.At(c.MaxSize())-c.At(c.MaxSize())) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurveScaleAndClone(t *testing.T) {
+	c, _ := NewCurve([]int64{10, 20}, []float64{0.3, 0.6})
+	s := c.Scale(64)
+	if s.Sizes[0] != 640 || s.Sizes[1] != 1280 {
+		t.Fatalf("Scale sizes = %v", s.Sizes)
+	}
+	cl := c.Clone()
+	cl.HitRates[0] = 0.99
+	if c.HitRates[0] == 0.99 {
+		t.Fatalf("Clone aliases the original")
+	}
+}
+
+func TestBucketEstimatorApproximatesExact(t *testing.T) {
+	// On a Zipf workload, the bucket estimator's hit-rate curve should be
+	// within a few percent of the exact curve at moderate sizes.
+	exact := NewProfiler()
+	approx := NewApproxProfiler(100)
+	rng := rand.New(rand.NewSource(5))
+	zipf := rand.NewZipf(rng, 1.1, 1, 2000)
+	for i := 0; i < 60000; i++ {
+		key := fmt.Sprintf("k%d", zipf.Uint64())
+		exact.Access(key)
+		approx.Access(key)
+	}
+	for _, size := range []int64{50, 200, 500, 1000} {
+		e := exact.Histogram().HitRate(size)
+		a := approx.Histogram().HitRate(size)
+		if math.Abs(e-a) > 0.08 {
+			t.Errorf("size %d: exact %.3f vs approx %.3f differ by more than 0.08", size, e, a)
+		}
+	}
+}
+
+func TestBucketEstimatorBuckets(t *testing.T) {
+	b := NewBucketEstimator(10, 0)
+	for i := 0; i < 5000; i++ {
+		b.Access(fmt.Sprintf("k%d", i%700))
+	}
+	if b.Buckets() > 10 {
+		t.Fatalf("bucket count %d exceeds configured 10", b.Buckets())
+	}
+	if b.Resident() != 700 {
+		t.Fatalf("Resident = %d, want 700", b.Resident())
+	}
+}
+
+func TestBucketEstimatorBoundedTracking(t *testing.T) {
+	b := NewBucketEstimator(10, 500)
+	for i := 0; i < 5000; i++ {
+		b.Access(fmt.Sprintf("k%d", i))
+	}
+	if b.Resident() > 500+500/10+1 {
+		t.Fatalf("Resident = %d, should be bounded near 500", b.Resident())
+	}
+}
+
+func TestProfilerCurveEndsAtOne(t *testing.T) {
+	p := NewProfiler()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			p.Access(fmt.Sprintf("k%d", i))
+		}
+	}
+	if p.Requests() != 300 {
+		t.Fatalf("Requests = %d, want 300", p.Requests())
+	}
+	curve := p.Curve(0, 20)
+	// 200 of 300 accesses are re-references with distance 100.
+	if got := curve.At(100); math.Abs(got-2.0/3.0) > 0.01 {
+		t.Fatalf("curve at 100 = %v, want ~0.667", got)
+	}
+}
+
+func BenchmarkCalculatorAccess(b *testing.B) {
+	c := NewCalculator()
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.1, 1, 100000)
+	keys := make([]string, 1<<16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", zipf.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(keys[i&(len(keys)-1)])
+	}
+}
+
+func BenchmarkBucketEstimatorAccess(b *testing.B) {
+	e := NewBucketEstimator(100, 0)
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.1, 1, 100000)
+	keys := make([]string, 1<<16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", zipf.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Access(keys[i&(len(keys)-1)])
+	}
+}

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cliffhanger/internal/cache"
+	"cliffhanger/internal/core"
+	"cliffhanger/internal/slab"
+)
+
+// Config configures a Store.
+type Config struct {
+	// Geometry is the slab-class geometry shared by all tenants; nil uses
+	// the default geometry.
+	Geometry *slab.Geometry
+	// DefaultMode is the allocation mode for tenants registered without an
+	// explicit mode.
+	DefaultMode AllocationMode
+	// DefaultPolicy is the eviction policy for non-Cliffhanger tenants.
+	DefaultPolicy cache.PolicyKind
+	// Cliffhanger configures Cliffhanger-managed tenants.
+	Cliffhanger core.Config
+}
+
+// Store is a multi-tenant in-memory key-value cache: the value-holding layer
+// over Tenant. It is safe for concurrent use; operations on different
+// tenants proceed in parallel.
+type Store struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	tenants map[string]*tenantShard
+}
+
+// tenantShard couples a Tenant with its value table and lock.
+type tenantShard struct {
+	mu     sync.Mutex
+	tenant *Tenant
+	values map[string][]byte
+	// casCounter provides unique CAS tokens for the gets/cas protocol verbs.
+	casCounter uint64
+	cas        map[string]uint64
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	if cfg.Geometry == nil {
+		cfg.Geometry = slab.DefaultGeometry()
+	}
+	if cfg.Cliffhanger.CreditBytes == 0 {
+		cfg.Cliffhanger = core.DefaultConfig()
+	}
+	return &Store{cfg: cfg, tenants: make(map[string]*tenantShard)}
+}
+
+// RegisterTenant creates a tenant with the given memory reservation using
+// the store's default mode and policy.
+func (s *Store) RegisterTenant(name string, memoryBytes int64) error {
+	return s.RegisterTenantConfig(TenantConfig{
+		Name:        name,
+		MemoryBytes: memoryBytes,
+		Mode:        s.cfg.DefaultMode,
+		Policy:      s.cfg.DefaultPolicy,
+	})
+}
+
+// RegisterTenantConfig creates a tenant from an explicit configuration.
+// Unset geometry and Cliffhanger settings inherit the store defaults.
+func (s *Store) RegisterTenantConfig(cfg TenantConfig) error {
+	if cfg.Name == "" {
+		return fmt.Errorf("store: tenant name must not be empty")
+	}
+	if cfg.Geometry == nil {
+		cfg.Geometry = s.cfg.Geometry
+	}
+	if cfg.Cliffhanger.CreditBytes == 0 {
+		cfg.Cliffhanger = s.cfg.Cliffhanger
+	}
+	tenant, err := NewTenant(cfg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[cfg.Name]; dup {
+		return fmt.Errorf("store: tenant %q already registered", cfg.Name)
+	}
+	s.tenants[cfg.Name] = &tenantShard{
+		tenant: tenant,
+		values: make(map[string][]byte),
+		cas:    make(map[string]uint64),
+	}
+	return nil
+}
+
+// Tenants returns the registered tenant names, sorted.
+func (s *Store) Tenants() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Store) shard(tenant string) (*tenantShard, bool) {
+	s.mu.RLock()
+	sh, ok := s.tenants[tenant]
+	s.mu.RUnlock()
+	return sh, ok
+}
+
+// ErrNoTenant is returned for operations on unregistered tenants.
+type ErrNoTenant struct{ Name string }
+
+func (e ErrNoTenant) Error() string { return fmt.Sprintf("store: unknown tenant %q", e.Name) }
+
+// Get returns the value stored under key for the tenant and whether it was
+// present.
+func (s *Store) Get(tenant, key string) ([]byte, bool, error) {
+	sh, ok := s.shard(tenant)
+	if !ok {
+		return nil, false, ErrNoTenant{tenant}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	val, present := sh.values[key]
+	// Drive the eviction/shadow structures with the item's stored size.
+	sh.tenant.Lookup(key, int64(len(val)))
+	if !present {
+		return nil, false, nil
+	}
+	return val, true, nil
+}
+
+// GetWithCAS returns the value and a CAS token for the gets verb.
+func (s *Store) GetWithCAS(tenant, key string) ([]byte, uint64, bool, error) {
+	sh, ok := s.shard(tenant)
+	if !ok {
+		return nil, 0, false, ErrNoTenant{tenant}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	val, present := sh.values[key]
+	sh.tenant.Lookup(key, int64(len(val)))
+	if !present {
+		return nil, 0, false, nil
+	}
+	return val, sh.cas[key], true, nil
+}
+
+// Set stores value under key for the tenant, evicting older entries as
+// needed. Values too large for any slab class are rejected.
+func (s *Store) Set(tenant, key string, value []byte) error {
+	sh, ok := s.shard(tenant)
+	if !ok {
+		return ErrNoTenant{tenant}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	size := int64(len(key) + len(value))
+	if _, fits := sh.tenant.ClassFor(size); !fits {
+		return fmt.Errorf("store: object %q of %d bytes exceeds the largest slab class", key, size)
+	}
+	victims := sh.tenant.Admit(key, size)
+	admitted := true
+	for _, v := range victims {
+		if v.Key == key {
+			admitted = false
+			continue
+		}
+		delete(sh.values, v.Key)
+		delete(sh.cas, v.Key)
+	}
+	if !admitted {
+		delete(sh.values, key)
+		delete(sh.cas, key)
+		return fmt.Errorf("store: object %q does not fit in tenant %q", key, tenant)
+	}
+	sh.values[key] = value
+	sh.casCounter++
+	sh.cas[key] = sh.casCounter
+	return nil
+}
+
+// Delete removes key from the tenant, reporting whether it was present.
+func (s *Store) Delete(tenant, key string) (bool, error) {
+	sh, ok := s.shard(tenant)
+	if !ok {
+		return false, ErrNoTenant{tenant}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	val, present := sh.values[key]
+	if present {
+		sh.tenant.Delete(key, int64(len(key)+len(val)))
+		delete(sh.values, key)
+		delete(sh.cas, key)
+	}
+	return present, nil
+}
+
+// Flush removes every entry of the tenant.
+func (s *Store) Flush(tenant string) error {
+	sh, ok := s.shard(tenant)
+	if !ok {
+		return ErrNoTenant{tenant}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for key, val := range sh.values {
+		sh.tenant.Delete(key, int64(len(key)+len(val)))
+	}
+	sh.values = make(map[string][]byte)
+	sh.cas = make(map[string]uint64)
+	return nil
+}
+
+// Stats returns the tenant's counters.
+func (s *Store) Stats(tenant string) (TenantStats, error) {
+	sh, ok := s.shard(tenant)
+	if !ok {
+		return TenantStats{}, ErrNoTenant{tenant}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tenant.Stats(), nil
+}
+
+// Items reports the number of values the tenant currently holds.
+func (s *Store) Items(tenant string) (int, error) {
+	sh, ok := s.shard(tenant)
+	if !ok {
+		return 0, ErrNoTenant{tenant}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.values), nil
+}
+
+// UsedBytes reports the tenant's resident bytes as accounted by its slab
+// queues.
+func (s *Store) UsedBytes(tenant string) (int64, error) {
+	sh, ok := s.shard(tenant)
+	if !ok {
+		return 0, ErrNoTenant{tenant}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tenant.UsedBytes(), nil
+}
+
+// Victim re-exports cache.Victim for callers that only import store.
+type Victim = cache.Victim

@@ -1,0 +1,472 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cliffhanger/internal/cache"
+	"cliffhanger/internal/core"
+	"cliffhanger/internal/slab"
+)
+
+func testConfig(mode AllocationMode, memoryMB int64) TenantConfig {
+	return TenantConfig{
+		Name:        "app",
+		MemoryBytes: memoryMB << 20,
+		Mode:        mode,
+		Policy:      cache.PolicyLRU,
+		Cliffhanger: core.DefaultConfig(),
+	}
+}
+
+func TestAllocationModeString(t *testing.T) {
+	names := map[AllocationMode]string{
+		AllocDefault:      "default",
+		AllocCliffhanger:  "cliffhanger",
+		AllocStatic:       "static",
+		AllocGlobalLRU:    "global-lru",
+		AllocationMode(9): "unknown",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestNewTenantValidation(t *testing.T) {
+	if _, err := NewTenant(TenantConfig{Name: "x"}); err == nil {
+		t.Fatalf("zero memory should error")
+	}
+}
+
+func TestTenantDefaultModeFCFSPages(t *testing.T) {
+	cfg := testConfig(AllocDefault, 4)
+	tenant, err := NewTenant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill with large items first: they should grab all the pages.
+	for i := 0; i < 2000; i++ {
+		tenant.Access(fmt.Sprintf("big%d", i), 16<<10)
+	}
+	// Now a small class arrives; with no free pages it is stuck with a
+	// zero-capacity queue and every access misses (the FCFS pathology of §2).
+	hits := 0
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			if h, _ := tenant.Access(fmt.Sprintf("small%d", i), 64); h {
+				hits++
+			}
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("small class should be starved under FCFS after large class grabbed all pages, got %d hits", hits)
+	}
+	bigClass, _ := tenant.ClassFor(16 << 10)
+	if got := tenant.ClassCapacities()[bigClass]; got != 4<<20 {
+		t.Fatalf("large class should own all 4 MiB, has %d", got)
+	}
+}
+
+func TestTenantStaticModeRespectsBudgets(t *testing.T) {
+	geom := slab.DefaultGeometry()
+	smallClass, _ := geom.ClassFor(64)
+	bigClass, _ := geom.ClassFor(16 << 10)
+	cfg := testConfig(AllocStatic, 4)
+	cfg.StaticClassBytes = map[int]int64{
+		smallClass: 3 << 20,
+		bigClass:   1 << 20,
+	}
+	tenant, err := NewTenant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		tenant.Access(fmt.Sprintf("big%d", i), 16<<10)
+		tenant.Access(fmt.Sprintf("small%d", i%1000), 64)
+	}
+	caps := tenant.ClassCapacities()
+	if caps[smallClass] != 3<<20 || caps[bigClass] != 1<<20 {
+		t.Fatalf("static capacities changed: %v", caps)
+	}
+	st := tenant.Stats()
+	var smallHits int64
+	for _, c := range st.Classes {
+		if c.Class == smallClass {
+			smallHits = c.Hits
+		}
+		if c.UsedBytes > c.CapacityBytes {
+			t.Fatalf("class %d over budget: %d > %d", c.Class, c.UsedBytes, c.CapacityBytes)
+		}
+	}
+	if smallHits == 0 {
+		t.Fatalf("small class with a protected budget should get hits")
+	}
+}
+
+func TestTenantGlobalLRUUsesItemSizes(t *testing.T) {
+	cfg := testConfig(AllocGlobalLRU, 1)
+	tenant, err := NewTenant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MiB budget; 256-byte items: ~4096 fit by exact size (vs 2048 if
+	// charged a 512-byte chunk).
+	for i := 0; i < 5000; i++ {
+		tenant.Access(fmt.Sprintf("k%d", i), 256)
+	}
+	if used := tenant.UsedBytes(); used > 1<<20 {
+		t.Fatalf("global LRU over budget: %d", used)
+	}
+	hits := 0
+	for i := 1500; i < 5000; i++ {
+		if h, _ := tenant.Access(fmt.Sprintf("k%d", i), 256); h {
+			hits++
+		}
+	}
+	if hits < 3000 {
+		t.Fatalf("most recent ~4096 items should be resident under exact-size accounting, got %d/3500 hits", hits)
+	}
+}
+
+func TestTenantCliffhangerModeShiftsMemory(t *testing.T) {
+	cfg := testConfig(AllocCliffhanger, 2)
+	cfg.Cliffhanger = core.Config{
+		CreditBytes:        4096,
+		ShadowBytes:        256 << 10,
+		CliffShadowItems:   128,
+		TailWindowItems:    128,
+		CliffMinItems:      1000,
+		ResizeOnMissOnly:   true,
+		EnableHillClimbing: true,
+		EnableCliffScaling: true,
+		Seed:               1,
+	}
+	tenant, err := NewTenant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant.Manager() == nil {
+		t.Fatalf("cliffhanger tenant should expose its manager")
+	}
+	geom := slab.DefaultGeometry()
+	smallClass, _ := geom.ClassFor(64)
+	rng := rand.New(rand.NewSource(2))
+	// The small class has a working set larger than its equal share; the
+	// large class has a tiny working set. Hill climbing should move memory
+	// toward the small class.
+	before := tenant.ClassCapacities()[smallClass]
+	for i := 0; i < 300000; i++ {
+		if rng.Float64() < 0.9 {
+			tenant.Access(fmt.Sprintf("s%d", rng.Intn(12000)), 64)
+		} else {
+			tenant.Access(fmt.Sprintf("b%d", rng.Intn(20)), 8<<10)
+		}
+	}
+	after := tenant.ClassCapacities()[smallClass]
+	if after <= before {
+		t.Fatalf("small class capacity should grow under Cliffhanger: before %d after %d", before, after)
+	}
+	st := tenant.Stats()
+	if st.HitRate() < 0.3 {
+		t.Fatalf("hit rate %.3f unexpectedly low", st.HitRate())
+	}
+}
+
+func TestTenantLookupDoesNotAdmit(t *testing.T) {
+	for _, mode := range []AllocationMode{AllocDefault, AllocStatic, AllocGlobalLRU, AllocCliffhanger} {
+		cfg := testConfig(mode, 2)
+		cfg.StaticClassBytes = map[int]int64{0: 1 << 20}
+		tenant, err := NewTenant(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant.Lookup("ghost", 64) {
+			t.Fatalf("%v: lookup of unknown key should miss", mode)
+		}
+		// A second lookup must still miss: GETs never admit.
+		if tenant.Lookup("ghost", 64) {
+			t.Fatalf("%v: GET must not admit keys", mode)
+		}
+		tenant.Admit("real", 64)
+		if !tenant.Lookup("real", 64) {
+			t.Fatalf("%v: admitted key should hit", mode)
+		}
+		if !tenant.Delete("real", 64) {
+			t.Fatalf("%v: delete of resident key should succeed", mode)
+		}
+		if tenant.Lookup("real", 64) {
+			t.Fatalf("%v: deleted key should miss", mode)
+		}
+	}
+}
+
+func TestTenantOversizedItemRejected(t *testing.T) {
+	tenant, err := NewTenant(testConfig(AllocDefault, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := tenant.Admit("huge", 2<<20)
+	if len(victims) != 1 || victims[0].Key != "huge" {
+		t.Fatalf("oversized item should bounce back as its own victim, got %v", victims)
+	}
+	if hit, _ := tenant.Access("huge2", 2<<20); hit {
+		t.Fatalf("oversized access cannot hit")
+	}
+}
+
+func TestTenantStatsShape(t *testing.T) {
+	tenant, err := NewTenant(testConfig(AllocDefault, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tenant.Access(fmt.Sprintf("a%d", i%300), 100)
+		tenant.Access(fmt.Sprintf("b%d", i%50), 4000)
+	}
+	st := tenant.Stats()
+	if st.Requests != 2000 || st.Hits+st.Misses != 2000 {
+		t.Fatalf("stats totals wrong: %+v", st)
+	}
+	if len(st.Classes) < 2 {
+		t.Fatalf("expected at least two active classes, got %d", len(st.Classes))
+	}
+	var reqSum int64
+	for _, c := range st.Classes {
+		reqSum += c.Requests
+		if c.Hits+c.Misses != c.Requests {
+			t.Fatalf("class %d counters inconsistent: %+v", c.Class, c)
+		}
+	}
+	if reqSum != st.Requests {
+		t.Fatalf("per-class requests (%d) do not sum to total (%d)", reqSum, st.Requests)
+	}
+	if st.HitRate() <= 0 {
+		t.Fatalf("hit rate should be positive")
+	}
+}
+
+func TestStoreBasicOperations(t *testing.T) {
+	s := New(Config{DefaultMode: AllocDefault, DefaultPolicy: cache.PolicyLRU})
+	if err := s.RegisterTenant("app1", 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterTenant("app1", 4<<20); err == nil {
+		t.Fatalf("duplicate registration should fail")
+	}
+	if err := s.RegisterTenant("", 4<<20); err == nil {
+		t.Fatalf("empty tenant name should fail")
+	}
+	if _, _, err := s.Get("nope", "k"); err == nil {
+		t.Fatalf("unknown tenant should error")
+	}
+	if err := s.Set("app1", "hello", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("app1", "hello")
+	if err != nil || !ok || string(v) != "world" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := s.Get("app1", "missing"); ok {
+		t.Fatalf("missing key should not be found")
+	}
+	_, cas1, ok, err := s.GetWithCAS("app1", "hello")
+	if err != nil || !ok || cas1 == 0 {
+		t.Fatalf("GetWithCAS = %v %v %v", cas1, ok, err)
+	}
+	if err := s.Set("app1", "hello", []byte("world2")); err != nil {
+		t.Fatal(err)
+	}
+	_, cas2, _, _ := s.GetWithCAS("app1", "hello")
+	if cas2 == cas1 {
+		t.Fatalf("CAS token should change on update")
+	}
+	if deleted, _ := s.Delete("app1", "hello"); !deleted {
+		t.Fatalf("delete should report true")
+	}
+	if deleted, _ := s.Delete("app1", "hello"); deleted {
+		t.Fatalf("second delete should report false")
+	}
+	if names := s.Tenants(); len(names) != 1 || names[0] != "app1" {
+		t.Fatalf("Tenants = %v", names)
+	}
+}
+
+func TestStoreEvictionDropsValues(t *testing.T) {
+	s := New(Config{DefaultMode: AllocDefault, DefaultPolicy: cache.PolicyLRU})
+	if err := s.RegisterTenant("app", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	// Write far more data than fits: ~1 MiB of 1 KiB chunk items.
+	for i := 0; i < 4000; i++ {
+		if err := s.Set("app", fmt.Sprintf("k%d", i), make([]byte, 900)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, _ := s.Items("app")
+	if items == 0 || items > 1100 {
+		t.Fatalf("resident items = %d, want roughly 1024 (1 MiB of 1 KiB chunks)", items)
+	}
+	used, _ := s.UsedBytes("app")
+	if used > 1<<20 {
+		t.Fatalf("used bytes %d exceed the 1 MiB reservation", used)
+	}
+	// The most recently written keys should be present, the oldest gone.
+	if _, ok, _ := s.Get("app", "k3999"); !ok {
+		t.Fatalf("most recent key should be resident")
+	}
+	if _, ok, _ := s.Get("app", "k0"); ok {
+		t.Fatalf("oldest key should have been evicted")
+	}
+	st, _ := s.Stats("app")
+	if st.Sets != 4000 {
+		t.Fatalf("Sets = %d, want 4000", st.Sets)
+	}
+}
+
+func TestStoreRejectsOversizedValues(t *testing.T) {
+	s := New(Config{DefaultMode: AllocDefault, DefaultPolicy: cache.PolicyLRU})
+	s.RegisterTenant("app", 8<<20)
+	if err := s.Set("app", "big", make([]byte, 2<<20)); err == nil {
+		t.Fatalf("values above the largest chunk must be rejected")
+	}
+}
+
+func TestStoreFlush(t *testing.T) {
+	s := New(Config{DefaultMode: AllocCliffhanger})
+	s.RegisterTenant("app", 4<<20)
+	for i := 0; i < 100; i++ {
+		s.Set("app", fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if err := s.Flush("app"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Items("app"); n != 0 {
+		t.Fatalf("flush left %d items", n)
+	}
+	if _, ok, _ := s.Get("app", "k1"); ok {
+		t.Fatalf("flushed key should be gone")
+	}
+	if err := s.Flush("ghost"); err == nil {
+		t.Fatalf("flush of unknown tenant should error")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := New(Config{DefaultMode: AllocCliffhanger})
+	for i := 0; i < 4; i++ {
+		if err := s.RegisterTenant(fmt.Sprintf("app%d", i), 2<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)))
+			tenant := fmt.Sprintf("app%d", worker%4)
+			for i := 0; i < 5000; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(2000))
+				switch rng.Intn(10) {
+				case 0:
+					s.Delete(tenant, key)
+				case 1, 2, 3:
+					s.Set(tenant, key, make([]byte, 64+rng.Intn(512)))
+				default:
+					s.Get(tenant, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		tenant := fmt.Sprintf("app%d", i)
+		used, err := s.UsedBytes(tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if used > 2<<20 {
+			t.Fatalf("%s over budget after concurrent load: %d", tenant, used)
+		}
+		st, _ := s.Stats(tenant)
+		if st.Requests == 0 {
+			t.Fatalf("%s recorded no requests", tenant)
+		}
+	}
+}
+
+// TestStoreValueConsistencyWithQueues checks the critical invariant binding
+// the two layers: every value held by the store is tracked as resident by
+// the tenant's queues and vice versa (no leaked values after evictions).
+func TestStoreValueConsistencyWithQueues(t *testing.T) {
+	for _, mode := range []AllocationMode{AllocDefault, AllocCliffhanger, AllocGlobalLRU} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			s := New(Config{DefaultMode: mode, DefaultPolicy: cache.PolicyLRU})
+			if err := s.RegisterTenant("app", 1<<20); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 20000; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(5000))
+				switch rng.Intn(10) {
+				case 0:
+					s.Delete("app", key)
+				default:
+					s.Set("app", key, make([]byte, 200+rng.Intn(800)))
+				}
+			}
+			sh, _ := s.shard("app")
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			// Values held must not exceed what the queues account for, and
+			// every stored value's key must still be resident in some queue.
+			if int64(len(sh.values)) > sh.tenant.UsedBytes() {
+				t.Fatalf("more values (%d) than accounted bytes (%d)", len(sh.values), sh.tenant.UsedBytes())
+			}
+			missing := 0
+			for key, val := range sh.values {
+				if !sh.tenant.Lookup(key, int64(len(key)+len(val))) {
+					missing++
+				}
+			}
+			if missing > 0 {
+				t.Fatalf("%d stored values are not resident in the tenant queues", missing)
+			}
+		})
+	}
+}
+
+func BenchmarkStoreSetGetDefault(b *testing.B) {
+	benchmarkStore(b, AllocDefault)
+}
+
+func BenchmarkStoreSetGetCliffhanger(b *testing.B) {
+	benchmarkStore(b, AllocCliffhanger)
+}
+
+func benchmarkStore(b *testing.B, mode AllocationMode) {
+	s := New(Config{DefaultMode: mode, DefaultPolicy: cache.PolicyLRU})
+	if err := s.RegisterTenant("app", 64<<20); err != nil {
+		b.Fatal(err)
+	}
+	value := make([]byte, 256)
+	keys := make([]string, 1<<14)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		s.Set("app", keys[i], value)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(len(keys)-1)]
+		if i%10 == 0 {
+			s.Set("app", k, value)
+		} else {
+			s.Get("app", k)
+		}
+	}
+}

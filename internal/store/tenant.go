@@ -1,0 +1,480 @@
+// Package store implements the multi-tenant, slab-allocated cache engine the
+// experiments and the server run on: a Memcached-style key-value store with
+// per-application memory reservations, per-slab-class LRU queues, and a
+// pluggable memory-allocation policy — the default first-come-first-serve
+// page allocation, a static (solver-provided) allocation, a global LRU
+// (log-structured-memory-like) layout, or Cliffhanger.
+//
+// The engine is split in two layers. Tenant tracks one application's cache
+// *structure* — which keys are resident in which slab class and how memory is
+// divided — without holding values; the trace-driven simulator uses Tenants
+// directly so that replaying hundreds of millions of requests does not
+// require materializing values. Store (store.go) adds the value hash table,
+// per-tenant locking and the operations the network server needs.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"cliffhanger/internal/cache"
+	"cliffhanger/internal/core"
+	"cliffhanger/internal/slab"
+)
+
+// AllocationMode selects how a tenant's memory is divided across its slab
+// classes.
+type AllocationMode int
+
+const (
+	// AllocDefault is stock Memcached behaviour: memory is carved into
+	// pages handed to slab classes on demand, first come first served; each
+	// class runs its own eviction queue (§2 of the paper).
+	AllocDefault AllocationMode = iota
+	// AllocCliffhanger runs the paper's algorithm: one Cliffhanger manager
+	// per tenant moves memory between slab-class queues using shadow-queue
+	// hill climbing and scales performance cliffs.
+	AllocCliffhanger
+	// AllocStatic uses fixed per-class byte budgets, typically produced by
+	// the Dynacache solver baseline.
+	AllocStatic
+	// AllocGlobalLRU keeps a single LRU over all of the tenant's items
+	// regardless of size, emulating a log-structured memory cache at 100%
+	// utilization (Table 2).
+	AllocGlobalLRU
+)
+
+// String names the allocation mode.
+func (m AllocationMode) String() string {
+	switch m {
+	case AllocDefault:
+		return "default"
+	case AllocCliffhanger:
+		return "cliffhanger"
+	case AllocStatic:
+		return "static"
+	case AllocGlobalLRU:
+		return "global-lru"
+	default:
+		return "unknown"
+	}
+}
+
+// TenantConfig configures one application's cache structure.
+type TenantConfig struct {
+	// Name identifies the tenant (used in queue IDs and stats).
+	Name string
+	// MemoryBytes is the tenant's reservation.
+	MemoryBytes int64
+	// Geometry is the slab-class geometry; nil uses slab.DefaultGeometry.
+	Geometry *slab.Geometry
+	// Mode selects the allocation policy.
+	Mode AllocationMode
+	// Policy selects the eviction policy for the per-class queues in the
+	// non-Cliffhanger modes (LRU, LFU, ARC, Facebook mid-point insertion).
+	Policy cache.PolicyKind
+	// Cliffhanger configures the AllocCliffhanger mode.
+	Cliffhanger core.Config
+	// StaticClassBytes gives fixed per-class budgets for AllocStatic,
+	// indexed by slab class. Classes without an entry get a minimal budget.
+	StaticClassBytes map[int]int64
+}
+
+// ClassStats reports per-slab-class counters.
+type ClassStats struct {
+	Class         int
+	ChunkSize     int64
+	Requests      int64
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	UsedBytes     int64
+	CapacityBytes int64
+	Items         int
+}
+
+// TenantStats reports a tenant's counters.
+type TenantStats struct {
+	Name     string
+	Requests int64
+	Hits     int64
+	Misses   int64
+	Sets     int64
+	Deletes  int64
+	Classes  []ClassStats
+}
+
+// HitRate returns hits / (hits + misses).
+func (s TenantStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Tenant tracks one application's cache structure. It is not safe for
+// concurrent use; Store provides locking.
+type Tenant struct {
+	cfg  TenantConfig
+	geom *slab.Geometry
+
+	// Default / static / global-LRU state.
+	alloc   *slab.Allocator
+	classes []cache.Policy // per slab class (or a single queue for global LRU)
+
+	// Cliffhanger state.
+	manager *core.Manager
+
+	// Counters.
+	requests, hits, misses, sets, deletes     int64
+	classReq, classHit, classMiss, classEvict []int64
+}
+
+// NewTenant builds a tenant from cfg.
+func NewTenant(cfg TenantConfig) (*Tenant, error) {
+	if cfg.MemoryBytes <= 0 {
+		return nil, fmt.Errorf("store: tenant %q needs a positive memory reservation", cfg.Name)
+	}
+	geom := cfg.Geometry
+	if geom == nil {
+		geom = slab.DefaultGeometry()
+	}
+	t := &Tenant{cfg: cfg, geom: geom}
+	n := geom.NumClasses()
+	t.classReq = make([]int64, n)
+	t.classHit = make([]int64, n)
+	t.classMiss = make([]int64, n)
+	t.classEvict = make([]int64, n)
+
+	switch cfg.Mode {
+	case AllocCliffhanger:
+		// Cliffhanger starts from the same first-come-first-serve page
+		// allocation as stock Memcached (each queue begins near zero and
+		// grows by grabbing free pages on demand) and then incrementally
+		// reassigns memory between the class queues — exactly how the
+		// paper's prototype layers the algorithm on top of memcached's slab
+		// allocator. Every queue therefore starts at the manager's minimum
+		// size, and growIfNeeded hands out pages until they run out.
+		specs := make([]core.QueueSpec, 0, n)
+		for c := 0; c < n; c++ {
+			specs = append(specs, core.QueueSpec{
+				ID:              classQueueID(c),
+				UnitCost:        geom.ChunkSize(c),
+				InitialCapacity: 1, // clamped up to the configured minimum
+			})
+		}
+		m, err := core.NewManager(cfg.Cliffhanger, cfg.MemoryBytes, specs)
+		if err != nil {
+			return nil, fmt.Errorf("store: tenant %q: %v", cfg.Name, err)
+		}
+		t.manager = m
+		t.alloc = slab.NewAllocator(geom, cfg.MemoryBytes)
+	case AllocGlobalLRU:
+		t.classes = []cache.Policy{cache.NewPolicy(cfg.Policy, cfg.MemoryBytes)}
+	case AllocStatic:
+		t.classes = make([]cache.Policy, n)
+		for c := 0; c < n; c++ {
+			budget := cfg.StaticClassBytes[c]
+			if budget <= 0 {
+				budget = geom.ChunkSize(c) // room for at least one item
+			}
+			t.classes[c] = cache.NewPolicy(cfg.Policy, budget)
+		}
+	default: // AllocDefault
+		t.alloc = slab.NewAllocator(geom, cfg.MemoryBytes)
+		t.classes = make([]cache.Policy, n)
+		for c := 0; c < n; c++ {
+			t.classes[c] = cache.NewPolicy(cfg.Policy, 0)
+		}
+	}
+	return t, nil
+}
+
+func classQueueID(class int) string { return fmt.Sprintf("class%d", class) }
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.cfg.Name }
+
+// Mode returns the tenant's allocation mode.
+func (t *Tenant) Mode() AllocationMode { return t.cfg.Mode }
+
+// MemoryBytes returns the tenant's reservation.
+func (t *Tenant) MemoryBytes() int64 { return t.cfg.MemoryBytes }
+
+// Manager exposes the Cliffhanger manager (nil in other modes); used by the
+// experiment harness to snapshot per-class capacities over time (Figure 8).
+func (t *Tenant) Manager() *core.Manager { return t.manager }
+
+// ClassFor returns the slab class for an item of the given size.
+func (t *Tenant) ClassFor(size int64) (int, bool) {
+	if t.cfg.Mode == AllocGlobalLRU {
+		return 0, true
+	}
+	return t.geom.ClassFor(size)
+}
+
+// cost returns the cost charged for an item of the given size in the given
+// class: the full chunk size in slab modes (Memcached's real memory
+// accounting) and the exact item size under the global-LRU layout.
+func (t *Tenant) cost(class int, size int64) int64 {
+	if t.cfg.Mode == AllocGlobalLRU {
+		if size <= 0 {
+			return 1
+		}
+		return size
+	}
+	return t.geom.ChunkSize(class)
+}
+
+// Lookup performs the GET path: it reports whether key is resident and
+// promotes it if so. It never admits the key (admission happens on the SET
+// that follows a miss, as in Memcached).
+func (t *Tenant) Lookup(key string, size int64) bool {
+	class, ok := t.ClassFor(size)
+	if !ok {
+		return false
+	}
+	t.requests++
+	t.classReq[class]++
+	hit := false
+	if t.manager != nil {
+		if t.manager.Contains(classQueueID(class), key) {
+			out, _ := t.manager.Access(classQueueID(class), key, t.cost(class, size))
+			hit = out.Hit
+		}
+	} else {
+		q := t.queueFor(class)
+		// Policies couple lookup and fill; only touch the queue when the
+		// key is already resident so a GET miss does not admit it.
+		if q.Contains(key) {
+			hit, _ = q.Access(key, t.cost(class, size))
+		}
+	}
+	if hit {
+		t.hits++
+		t.classHit[class]++
+	} else {
+		t.misses++
+		t.classMiss[class]++
+	}
+	return hit
+}
+
+// Admit performs the SET path: the key becomes resident (if it fits) and any
+// evicted keys are returned so the caller can drop their values.
+func (t *Tenant) Admit(key string, size int64) []cache.Victim {
+	class, ok := t.ClassFor(size)
+	if !ok {
+		return []cache.Victim{{Key: key, Cost: size}}
+	}
+	t.sets++
+	cost := t.cost(class, size)
+	var victims []cache.Victim
+	if t.manager != nil {
+		t.growManagedIfNeeded(class, cost)
+		out, _ := t.manager.Access(classQueueID(class), key, cost)
+		victims = out.Evicted
+	} else {
+		q := t.queueFor(class)
+		t.growIfNeeded(class, q, cost)
+		_, victims = q.Access(key, cost)
+	}
+	t.classEvict[class] += int64(len(victims))
+	return victims
+}
+
+// Access performs the demand-fill GET used by the trace-driven simulator: a
+// lookup that, on a miss, immediately admits the key (modelling the
+// application's read-through fill). It returns whether the access hit and
+// any evicted keys.
+func (t *Tenant) Access(key string, size int64) (bool, []cache.Victim) {
+	class, ok := t.ClassFor(size)
+	if !ok {
+		return false, nil
+	}
+	t.requests++
+	t.classReq[class]++
+	cost := t.cost(class, size)
+	var (
+		hit     bool
+		victims []cache.Victim
+	)
+	if t.manager != nil {
+		t.growManagedIfNeeded(class, cost)
+		out, _ := t.manager.Access(classQueueID(class), key, cost)
+		hit = out.Hit
+		victims = out.Evicted
+	} else {
+		q := t.queueFor(class)
+		t.growIfNeeded(class, q, cost)
+		hit, victims = q.Access(key, cost)
+	}
+	if hit {
+		t.hits++
+		t.classHit[class]++
+	} else {
+		t.misses++
+		t.classMiss[class]++
+	}
+	t.classEvict[class] += int64(len(victims))
+	return hit, victims
+}
+
+// Delete removes key (of the given size class) from the tenant.
+func (t *Tenant) Delete(key string, size int64) bool {
+	class, ok := t.ClassFor(size)
+	if !ok {
+		return false
+	}
+	t.deletes++
+	if t.manager != nil {
+		return t.manager.Remove(classQueueID(class), key)
+	}
+	return t.queueFor(class).Remove(key)
+}
+
+// queueFor returns the eviction queue of the given class.
+func (t *Tenant) queueFor(class int) cache.Policy {
+	if t.cfg.Mode == AllocGlobalLRU {
+		return t.classes[0]
+	}
+	return t.classes[class]
+}
+
+// growIfNeeded implements the default first-come-first-serve page
+// allocation: when a class's queue has no room for one more item, it grabs a
+// free page if any remain and grows its queue capacity accordingly.
+func (t *Tenant) growIfNeeded(class int, q cache.Policy, cost int64) {
+	if t.alloc == nil {
+		return
+	}
+	for q.Used()+cost > q.Capacity() {
+		if !t.alloc.Grow(class) {
+			return
+		}
+		q.Resize(t.alloc.BytesOf(class))
+	}
+}
+
+// growManagedIfNeeded is the Cliffhanger-mode counterpart of growIfNeeded:
+// while free pages remain, a class queue that is out of room grows by one
+// page, exactly like stock Memcached; once the pages are exhausted, only the
+// hill-climbing credit transfers change queue sizes.
+func (t *Tenant) growManagedIfNeeded(class int, cost int64) {
+	if t.alloc == nil || t.manager == nil {
+		return
+	}
+	q := t.manager.Queue(classQueueID(class))
+	if q == nil {
+		return
+	}
+	for q.Used()+cost > q.Capacity() && t.alloc.FreePages() > 0 {
+		if !t.alloc.Grow(class) {
+			return
+		}
+		q.SetCapacity(q.Capacity() + t.geom.PageSize)
+	}
+}
+
+// ClassCapacities returns the current per-class capacities in bytes, keyed
+// by slab class. For global-LRU tenants the single queue is reported as
+// class 0.
+func (t *Tenant) ClassCapacities() map[int]int64 {
+	out := make(map[int]int64)
+	if t.manager != nil {
+		for c := 0; c < t.geom.NumClasses(); c++ {
+			if q := t.manager.Queue(classQueueID(c)); q != nil {
+				out[c] = q.Capacity()
+			}
+		}
+		return out
+	}
+	for c, q := range t.classes {
+		out[c] = q.Capacity()
+	}
+	return out
+}
+
+// UsedBytes returns the tenant's resident bytes.
+func (t *Tenant) UsedBytes() int64 {
+	var sum int64
+	if t.manager != nil {
+		for _, s := range t.manager.Snapshot() {
+			sum += s.Used
+		}
+		return sum
+	}
+	for _, q := range t.classes {
+		sum += q.Used()
+	}
+	return sum
+}
+
+// Stats returns a snapshot of the tenant's counters.
+func (t *Tenant) Stats() TenantStats {
+	st := TenantStats{
+		Name:     t.cfg.Name,
+		Requests: t.requests,
+		Hits:     t.hits,
+		Misses:   t.misses,
+		Sets:     t.sets,
+		Deletes:  t.deletes,
+	}
+	caps := t.ClassCapacities()
+	items := t.classItems()
+	used := t.classUsed()
+	for c := 0; c < len(t.classReq); c++ {
+		if t.classReq[c] == 0 && caps[c] == 0 && used[c] == 0 {
+			continue
+		}
+		chunk := int64(0)
+		if t.cfg.Mode != AllocGlobalLRU && c < t.geom.NumClasses() {
+			chunk = t.geom.ChunkSize(c)
+		}
+		st.Classes = append(st.Classes, ClassStats{
+			Class:         c,
+			ChunkSize:     chunk,
+			Requests:      t.classReq[c],
+			Hits:          t.classHit[c],
+			Misses:        t.classMiss[c],
+			Evictions:     t.classEvict[c],
+			UsedBytes:     used[c],
+			CapacityBytes: caps[c],
+			Items:         items[c],
+		})
+	}
+	sort.Slice(st.Classes, func(i, j int) bool { return st.Classes[i].Class < st.Classes[j].Class })
+	return st
+}
+
+func (t *Tenant) classItems() map[int]int {
+	out := make(map[int]int)
+	if t.manager != nil {
+		for c := 0; c < t.geom.NumClasses(); c++ {
+			if q := t.manager.Queue(classQueueID(c)); q != nil {
+				out[c] = q.Items()
+			}
+		}
+		return out
+	}
+	for c, q := range t.classes {
+		out[c] = q.Len()
+	}
+	return out
+}
+
+func (t *Tenant) classUsed() map[int]int64 {
+	out := make(map[int]int64)
+	if t.manager != nil {
+		for c := 0; c < t.geom.NumClasses(); c++ {
+			if q := t.manager.Queue(classQueueID(c)); q != nil {
+				out[c] = q.Used()
+			}
+		}
+		return out
+	}
+	for c, q := range t.classes {
+		out[c] = q.Used()
+	}
+	return out
+}
