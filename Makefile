@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet fmt bench bins clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkStoreGetSet -benchmem ./internal/store/
+	$(GO) test -run=NONE -bench=BenchmarkServerPipelined ./internal/server/
+
+bins:
+	$(GO) build -o bin/cliffhangerd ./cmd/cliffhangerd
+	$(GO) build -o bin/cliffbench ./cmd/cliffbench
+
+clean:
+	rm -rf bin

@@ -1,0 +1,155 @@
+// Command cliffbench is a closed-loop load generator for cliffhangerd: each
+// connection issues one request (or one pipelined batch) at a time over the
+// memcached text protocol, with key popularity drawn from a zipf
+// distribution — the skewed-popularity regime where Cliffhanger's queue
+// re-sizing matters. GET misses are followed by a SET of the same key,
+// modelling the application's read-through fill.
+//
+// Example:
+//
+//	cliffbench -addr 127.0.0.1:11211 -conns 8 -duration 30s -zipf 1.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cliffhanger/internal/client"
+	"cliffhanger/internal/metrics"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:11211", "server address")
+		conns     = flag.Int("conns", 8, "concurrent connections (closed loop, one request in flight each)")
+		duration  = flag.Duration("duration", 10*time.Second, "measurement duration")
+		keys      = flag.Int("keys", 100000, "key-space size")
+		zipfS     = flag.Float64("zipf", 1.1, "zipf skew parameter (>1; larger = more skewed)")
+		valueSize = flag.Int("value", 256, "value size in bytes")
+		getRatio  = flag.Float64("get-ratio", 0.9, "fraction of operations that are GETs")
+		tenant    = flag.String("tenant", "", "tenant to select (empty = server default)")
+		pipeline  = flag.Int("pipeline", 1, "GETs per pipelined batch (1 = plain request/response)")
+		warm      = flag.Bool("warm", true, "preload every key before measuring")
+		timeout   = flag.Duration("timeout", 5*time.Second, "dial timeout")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "cliffbench: ", 0)
+	if *zipfS <= 1 {
+		logger.Fatal("-zipf must be > 1")
+	}
+	if *pipeline < 1 {
+		*pipeline = 1
+	}
+
+	value := make([]byte, *valueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	keyspace := make([]string, *keys)
+	for i := range keyspace {
+		keyspace[i] = fmt.Sprintf("bench-%d", i)
+	}
+
+	if *warm {
+		logger.Printf("warming %d keys", *keys)
+		c := dial(logger, *addr, *tenant, *timeout)
+		const batch = 512
+		for lo := 0; lo < len(keyspace); lo += batch {
+			hi := lo + batch
+			if hi > len(keyspace) {
+				hi = len(keyspace)
+			}
+			if err := c.PipelineSet(keyspace[lo:hi], value); err != nil {
+				logger.Fatalf("warmup: %v", err)
+			}
+		}
+		c.Close()
+	}
+
+	var (
+		ops, hits, misses, fills atomic.Int64
+		lat                      metrics.LatencyHistogram
+		wg                       sync.WaitGroup
+	)
+	deadline := time.Now().Add(*duration)
+	logger.Printf("running %d conns for %v (zipf=%.2f, pipeline=%d, get-ratio=%.2f)",
+		*conns, *duration, *zipfS, *pipeline, *getRatio)
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			c := dial(logger, *addr, *tenant, *timeout)
+			defer c.Close()
+			rng := rand.New(rand.NewSource(*seed + int64(worker)))
+			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(keyspace)-1))
+			batch := make([]string, *pipeline)
+			for time.Now().Before(deadline) {
+				if rng.Float64() >= *getRatio {
+					key := keyspace[zipf.Uint64()]
+					start := time.Now()
+					if err := c.Set(key, value); err != nil {
+						logger.Fatalf("set: %v", err)
+					}
+					lat.Record(time.Since(start))
+					ops.Add(1)
+					continue
+				}
+				for i := range batch {
+					batch[i] = keyspace[zipf.Uint64()]
+				}
+				start := time.Now()
+				got, err := c.PipelineGet(batch)
+				if err != nil {
+					logger.Fatalf("get: %v", err)
+				}
+				lat.Record(time.Since(start))
+				ops.Add(int64(len(batch)))
+				for _, k := range batch {
+					if _, ok := got[k]; ok {
+						hits.Add(1)
+						continue
+					}
+					misses.Add(1)
+					// Read-through fill: repopulate the missed key.
+					if err := c.Set(k, value); err != nil {
+						logger.Fatalf("fill: %v", err)
+					}
+					fills.Add(1)
+					ops.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	elapsed := *duration
+	total := ops.Load()
+	h, m := hits.Load(), misses.Load()
+	hitRate := 0.0
+	if h+m > 0 {
+		hitRate = float64(h) / float64(h+m)
+	}
+	fmt.Printf("ops=%d ops/s=%.0f hit_rate=%.4f fills=%d\n",
+		total, float64(total)/elapsed.Seconds(), hitRate, fills.Load())
+	fmt.Printf("latency per round trip: %s\n", lat.String())
+}
+
+func dial(logger *log.Logger, addr, tenant string, timeout time.Duration) *client.Client {
+	c, err := client.Dial(addr, timeout)
+	if err != nil {
+		logger.Fatalf("dial %s: %v", addr, err)
+	}
+	if tenant != "" {
+		if err := c.SelectTenant(tenant); err != nil {
+			logger.Fatalf("tenant %s: %v", tenant, err)
+		}
+	}
+	return c
+}

@@ -1,0 +1,143 @@
+// Command cliffhangerd serves the multi-tenant Cliffhanger cache over TCP
+// using the memcached text protocol.
+//
+// Example:
+//
+//	cliffhangerd -addr :11211 -tenants default:64,app2:32 -mode cliffhanger
+//
+// Clients speak standard memcached get/gets/set/delete/stats/flush_all plus
+// the non-standard "tenant <name>" verb to select an application on the
+// connection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"cliffhanger/internal/cache"
+	"cliffhanger/internal/server"
+	"cliffhanger/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:11211", "TCP listen address")
+		tenants   = flag.String("tenants", "default:64", "comma-separated name:MB tenant reservations")
+		mode      = flag.String("mode", "cliffhanger", "allocation mode: default, cliffhanger, static, global-lru")
+		policy    = flag.String("policy", "lru", "eviction policy for non-cliffhanger modes: lru, lfu, arc, facebook")
+		shards    = flag.Int("shards", 0, "value shards per tenant (0 = default)")
+		syncBk    = flag.Bool("sync-bookkeeping", false, "apply Cliffhanger bookkeeping inline on the request path (slower, deterministic)")
+		statsIntv = flag.Duration("stats-interval", 0, "interval for logging throughput and hit rates (0 disables)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "cliffhangerd: ", log.LstdFlags)
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	p, ok := cache.ParsePolicyKind(*policy)
+	if !ok {
+		logger.Fatalf("unknown policy %q", *policy)
+	}
+	st := store.New(store.Config{
+		DefaultMode:     m,
+		DefaultPolicy:   p,
+		ValueShards:     *shards,
+		SyncBookkeeping: *syncBk,
+	})
+	specs, err := parseTenants(*tenants)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defaultTenant := specs[0].name
+	for _, t := range specs {
+		if err := st.RegisterTenant(t.name, t.mb<<20); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("tenant %s: %d MiB, mode %s", t.name, t.mb, m)
+	}
+
+	srv := server.New(server.Config{Addr: *addr, DefaultTenant: defaultTenant, Logger: logger}, st)
+	if err := srv.Start(); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("listening on %s", srv.Addr())
+
+	if *statsIntv > 0 {
+		go logStats(logger, srv, st, *statsIntv)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down")
+	if err := srv.Close(); err != nil {
+		logger.Printf("close: %v", err)
+	}
+	st.Close()
+}
+
+type tenantSpec struct {
+	name string
+	mb   int64
+}
+
+func parseTenants(s string) ([]tenantSpec, error) {
+	var specs []tenantSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, mbStr, found := strings.Cut(part, ":")
+		if !found || name == "" {
+			return nil, fmt.Errorf("bad tenant spec %q, want name:MB", part)
+		}
+		mb, err := strconv.ParseInt(mbStr, 10, 64)
+		if err != nil || mb <= 0 {
+			return nil, fmt.Errorf("bad tenant memory in %q", part)
+		}
+		specs = append(specs, tenantSpec{name: name, mb: mb})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no tenants configured")
+	}
+	return specs, nil
+}
+
+func parseMode(s string) (store.AllocationMode, error) {
+	for _, m := range []store.AllocationMode{
+		store.AllocDefault, store.AllocCliffhanger, store.AllocStatic, store.AllocGlobalLRU,
+	} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown allocation mode %q", s)
+}
+
+func logStats(logger *log.Logger, srv *server.Server, st *store.Store, interval time.Duration) {
+	for range time.Tick(interval) {
+		var parts []string
+		for _, name := range st.Tenants() {
+			s, err := st.Stats(name)
+			if err != nil {
+				continue
+			}
+			dropped, _ := st.DroppedEvents(name)
+			parts = append(parts, fmt.Sprintf("%s hit=%.4f req=%d shed=%d",
+				name, s.HitRate(), s.Requests, dropped))
+		}
+		logger.Printf("ops/s=%.0f get p99=%v set p99=%v | %s",
+			srv.Ops.Rate(), srv.GetLatency.Quantile(0.99), srv.SetLatency.Quantile(0.99),
+			strings.Join(parts, " | "))
+	}
+}

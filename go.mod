@@ -1,0 +1,3 @@
+module cliffhanger
+
+go 1.22

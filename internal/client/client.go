@@ -1,7 +1,9 @@
 // Package client is a small memcached-text-protocol client used by the load
 // generator, the examples and the end-to-end tests. It supports the subset
-// of verbs the server implements and is safe for use by one goroutine per
-// Client (the load generator opens one Client per worker connection).
+// of verbs the server implements, including pipelined batches (PipelineGet,
+// PipelineSet) that amortize one flush over many commands, and is safe for
+// use by one goroutine per Client (the load generator opens one Client per
+// worker connection).
 package client
 
 import (
@@ -110,6 +112,66 @@ func (c *Client) GetMulti(keys []string) (map[string][]byte, error) {
 		return nil, err
 	}
 	return c.readValues()
+}
+
+// PipelineSet stores value under every key with a single batch write and a
+// single flush, then reads the responses. The server parses ahead on its
+// buffered reader and flushes once per batch, so a deep pipeline pays one
+// syscall per direction per batch instead of one per command.
+func (c *Client) PipelineSet(keys []string, value []byte) error {
+	for _, key := range keys {
+		if _, err := fmt.Fprintf(c.w, "set %s 0 0 %d\r\n", key, len(value)); err != nil {
+			return err
+		}
+		if _, err := c.w.Write(value); err != nil {
+			return err
+		}
+		if _, err := c.w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	for _, key := range keys {
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		ok, err := protocol.ParseResponseLine(line)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("client: pipelined set %q not stored: %s", key, line)
+		}
+	}
+	return nil
+}
+
+// PipelineGet issues one get command per key in a single batch write and a
+// single flush, then reads all responses. Missing keys are absent from the
+// returned map.
+func (c *Client) PipelineGet(keys []string) (map[string][]byte, error) {
+	for _, key := range keys {
+		if _, err := c.w.WriteString("get " + key + "\r\n"); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(keys))
+	for range keys {
+		values, err := c.readValues()
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range values {
+			out[k] = v
+		}
+	}
+	return out, nil
 }
 
 // Delete removes key, reporting whether it existed.

@@ -1,0 +1,194 @@
+package client_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"cliffhanger/internal/cache"
+	"cliffhanger/internal/client"
+	"cliffhanger/internal/server"
+	"cliffhanger/internal/store"
+)
+
+func startServer(t *testing.T) *server.Server {
+	t.Helper()
+	st := store.New(store.Config{DefaultMode: store.AllocCliffhanger, DefaultPolicy: cache.PolicyLRU})
+	if err := st.RegisterTenant("default", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterTenant("app2", 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", DefaultTenant: "default"}, st)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		st.Close()
+	})
+	return srv
+}
+
+func dial(t *testing.T, srv *server.Server) *client.Client {
+	t.Helper()
+	c, err := client.Dial(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+
+	if _, ok, err := c.Get("nothing"); err != nil || ok {
+		t.Fatalf("get of missing key: ok=%v err=%v", ok, err)
+	}
+	if err := c.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("k")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("get = %q %v %v", v, ok, err)
+	}
+	if err := c.Set("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := c.Get("k"); string(v) != "v2" {
+		t.Fatalf("update not visible: %q", v)
+	}
+	if deleted, err := c.Delete("k"); err != nil || !deleted {
+		t.Fatalf("delete = %v %v", deleted, err)
+	}
+	if deleted, _ := c.Delete("k"); deleted {
+		t.Fatalf("second delete should report NOT_FOUND")
+	}
+	if ver, err := c.Version(); err != nil || !strings.HasPrefix(ver, "cliffhanger") {
+		t.Fatalf("version = %q %v", ver, err)
+	}
+}
+
+func TestClientTenantVerb(t *testing.T) {
+	srv := startServer(t)
+	c1 := dial(t, srv)
+	c2 := dial(t, srv)
+
+	if err := c1.Set("shared", []byte("from-default")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.SelectTenant("app2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c2.Get("shared"); ok {
+		t.Fatalf("tenant isolation broken")
+	}
+	if err := c2.Set("shared", []byte("from-app2")); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["tenant"] != "app2" {
+		t.Fatalf("stats tenant = %q", stats["tenant"])
+	}
+	if err := c2.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c2.Get("shared"); ok {
+		t.Fatalf("flush_all did not clear tenant")
+	}
+	if v, _, _ := c1.Get("shared"); string(v) != "from-default" {
+		t.Fatalf("default tenant affected by app2 flush: %q", v)
+	}
+}
+
+func TestClientPipelinedBatches(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+
+	keys := make([]string, 50)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("pipe-%d", i)
+	}
+	if err := c.PipelineSet(keys, []byte("batched")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.PipelineGet(append(keys[:10:10], "missing-1", "missing-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("pipelined get returned %d values, want 10", len(got))
+	}
+	for _, k := range keys[:10] {
+		if string(got[k]) != "batched" {
+			t.Fatalf("%s = %q", k, got[k])
+		}
+	}
+	// The connection must be ready for normal request/response traffic
+	// straight after a pipelined batch.
+	if err := c.Set("after", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	multi, err := c.GetMulti([]string{"pipe-1", "after"})
+	if err != nil || len(multi) != 2 {
+		t.Fatalf("GetMulti = %v %v", multi, err)
+	}
+}
+
+func TestClientMalformedLineErrors(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+
+	// An over-long key draws CLIENT_ERROR, surfaced as an error.
+	long := strings.Repeat("k", 300)
+	if _, err := c.Delete(long); err == nil {
+		t.Fatalf("over-long key should error")
+	}
+	// The connection stays usable afterwards.
+	if err := c.Set("ok", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive raw malformed lines over a plain TCP connection and verify the
+	// server reports CLIENT_ERROR for each without dropping the session.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for _, line := range []string{
+		"bogusverb a b\r\n",
+		"get\r\n",
+		"set onlytwo 0\r\n",
+		"set k notanumber 0 5\r\n",
+	} {
+		if _, err := conn.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("no response to %q: %v", line, err)
+		}
+		if !strings.HasPrefix(resp, "CLIENT_ERROR") {
+			t.Fatalf("response to %q = %q, want CLIENT_ERROR", line, resp)
+		}
+	}
+	// And a well-formed command still works on the same raw connection.
+	if _, err := conn.Write([]byte("version\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(resp, "VERSION") {
+		t.Fatalf("version after errors = %q %v", resp, err)
+	}
+}

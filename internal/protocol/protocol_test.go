@@ -1,0 +1,164 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func reader(s string) *bufio.Reader { return bufio.NewReader(strings.NewReader(s)) }
+
+func TestReadCommandGet(t *testing.T) {
+	cmd, err := ReadCommand(reader("get a b c\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Name != "get" || len(cmd.Keys) != 3 || cmd.Keys[2] != "c" {
+		t.Fatalf("parsed %+v", cmd)
+	}
+	cmd, err = ReadCommand(reader("gets k\r\n"))
+	if err != nil || cmd.Name != "gets" {
+		t.Fatalf("gets: %+v %v", cmd, err)
+	}
+}
+
+func TestReadCommandSet(t *testing.T) {
+	cmd, err := ReadCommand(reader("set key 7 42 5\r\nhello\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Name != "set" || cmd.Keys[0] != "key" || cmd.Flags != 7 || cmd.ExpTime != 42 {
+		t.Fatalf("parsed %+v", cmd)
+	}
+	if string(cmd.Data) != "hello" || cmd.NoReply {
+		t.Fatalf("data = %q noreply=%v", cmd.Data, cmd.NoReply)
+	}
+	cmd, err = ReadCommand(reader("set key 0 0 2 noreply\r\nhi\r\n"))
+	if err != nil || !cmd.NoReply {
+		t.Fatalf("noreply not parsed: %+v %v", cmd, err)
+	}
+	// Binary payloads may contain CR and LF bytes.
+	cmd, err = ReadCommand(reader("set bin 0 0 4\r\n\r\n\r\n\r\n"))
+	if err != nil || string(cmd.Data) != "\r\n\r\n" {
+		t.Fatalf("binary data = %q %v", cmd.Data, err)
+	}
+}
+
+func TestReadCommandDeleteAndTenant(t *testing.T) {
+	cmd, err := ReadCommand(reader("delete k noreply\r\n"))
+	if err != nil || cmd.Name != "delete" || !cmd.NoReply {
+		t.Fatalf("delete: %+v %v", cmd, err)
+	}
+	cmd, err = ReadCommand(reader("tenant app7\r\n"))
+	if err != nil || cmd.Tenant != "app7" {
+		t.Fatalf("tenant: %+v %v", cmd, err)
+	}
+	for _, verb := range []string{"stats", "flush_all", "version"} {
+		cmd, err = ReadCommand(reader(verb + "\r\n"))
+		if err != nil || cmd.Name != verb {
+			t.Fatalf("%s: %+v %v", verb, cmd, err)
+		}
+	}
+	if _, err := ReadCommand(reader("quit\r\n")); err != ErrQuit {
+		t.Fatalf("quit should return ErrQuit, got %v", err)
+	}
+}
+
+func TestReadCommandMalformed(t *testing.T) {
+	cases := []string{
+		"\r\n",    // empty command
+		"get\r\n", // get without keys
+		"get " + strings.Repeat("k", 251) + "\r\n", // over-long key
+		"get bad\x01key\r\n",                       // key with a control character
+		"set k 0 0\r\n",                            // too few set args
+		"set k x 0 5\r\nhello\r\n",                 // bad flags
+		"set k 0 x 5\r\nhello\r\n",                 // bad exptime
+		"set k 0 0 -1\r\n",                         // negative size
+		"set k 0 0 2097153\r\n",                    // above MaxValueLength
+		"set k 0 0 5\r\nhelloXX",                   // data block not CRLF-terminated
+		"delete\r\n",                               // delete without key
+		"tenant\r\n",                               // tenant without name
+		"tenant a b\r\n",                           // tenant with two args
+		"warble\r\n",                               // unknown verb
+	}
+	for _, in := range cases {
+		if _, err := ReadCommand(reader(in)); err == nil {
+			t.Errorf("ReadCommand(%q) should fail", in)
+		}
+	}
+}
+
+func TestReadCommandPipelinedSequence(t *testing.T) {
+	// Several commands back-to-back on one reader, as a pipelining client
+	// would send them: each parse must consume exactly one command.
+	r := reader("set a 0 0 1\r\nx\r\nget a b\r\ndelete a\r\nversion\r\n")
+	wantNames := []string{"set", "get", "delete", "version"}
+	for i, want := range wantNames {
+		cmd, err := ReadCommand(r)
+		if err != nil {
+			t.Fatalf("command %d: %v", i, err)
+		}
+		if cmd.Name != want {
+			t.Fatalf("command %d = %q, want %q", i, cmd.Name, want)
+		}
+	}
+	if _, err := ReadCommand(r); err == nil {
+		t.Fatalf("exhausted reader should error")
+	}
+}
+
+func TestWriteValuesAndStats(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	values := []Value{
+		{Key: "a", Data: []byte("one")},
+		{Key: "b", Flags: 3, CAS: 9, Data: []byte("two")},
+	}
+	if err := WriteValues(w, values, true); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	out := buf.String()
+	if !strings.Contains(out, "VALUE a 0 3 0\r\none\r\n") ||
+		!strings.Contains(out, "VALUE b 3 3 9\r\ntwo\r\n") ||
+		!strings.HasSuffix(out, "END\r\n") {
+		t.Fatalf("gets response = %q", out)
+	}
+
+	buf.Reset()
+	if err := WriteValues(w, values[:1], false); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if got := buf.String(); got != "VALUE a 0 3\r\none\r\nEND\r\n" {
+		t.Fatalf("get response = %q", got)
+	}
+
+	buf.Reset()
+	if err := WriteStats(w, map[string]string{"x": "1", "y": "2"}, []string{"y", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if got := buf.String(); got != "STAT y 2\r\nSTAT x 1\r\nEND\r\n" {
+		t.Fatalf("stats = %q", got)
+	}
+}
+
+func TestParseResponseLine(t *testing.T) {
+	for _, line := range []string{"STORED", "DELETED", "OK", "TENANT"} {
+		if ok, err := ParseResponseLine(line); !ok || err != nil {
+			t.Errorf("%s should be ok, got %v %v", line, ok, err)
+		}
+	}
+	for _, line := range []string{"NOT_FOUND", "NOT_STORED"} {
+		if ok, err := ParseResponseLine(line); ok || err != nil {
+			t.Errorf("%s should be not-ok without error, got %v %v", line, ok, err)
+		}
+	}
+	for _, line := range []string{"ERROR", "SERVER_ERROR boom", "CLIENT_ERROR bad", "GIBBERISH"} {
+		if _, err := ParseResponseLine(line); err == nil {
+			t.Errorf("%s should error", line)
+		}
+	}
+}

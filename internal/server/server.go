@@ -1,8 +1,11 @@
 // Package server exposes the multi-tenant cache store over TCP using the
 // memcached-style text protocol from internal/protocol. One goroutine serves
-// each connection; the store provides per-tenant locking, so connections for
-// different applications proceed in parallel, mirroring how one Cliffhanger
-// instance serves many applications on a Memcachier server.
+// each connection and responses are written pipelined: the handler parses
+// ahead while client data is buffered and flushes once per batch, so a
+// pipelining client pays one syscall per batch instead of one per command.
+// The store shards each tenant's values under striped locks, so connections
+// hitting the same hot application still proceed in parallel, mirroring how
+// one Cliffhanger instance serves many applications on a Memcachier server.
 package server
 
 import (
@@ -165,8 +168,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.logf("server: %v", err)
 			return
 		}
-		if err := w.Flush(); err != nil {
-			return
+		// Pipelined response writing (memcached-style): while more client
+		// data is already buffered, keep parsing ahead and queuing responses;
+		// flush only once the batch is exhausted, i.e. right before the next
+		// read could block. A closed-loop client (one request at a time)
+		// still gets a flush per request.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -187,7 +197,7 @@ func (s *Server) handle(w *bufio.Writer, cmd *protocol.Command, tenant *string) 
 	case "stats":
 		return s.handleStats(w, *tenant)
 	case "flush_all":
-		if err := s.store.Flush(*tenant); err != nil {
+		if err := s.store.FlushTenant(*tenant); err != nil {
 			return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
 		}
 		return protocol.WriteLine(w, "OK")

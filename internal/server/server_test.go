@@ -159,6 +159,42 @@ func TestServerUnknownCommandRecovers(t *testing.T) {
 	}
 }
 
+// TestServerPipelinedCommands writes a whole batch of commands in one TCP
+// segment and checks every response arrives, in order, from the parse-ahead
+// write path.
+func TestServerPipelinedCommands(t *testing.T) {
+	srv, _ := startTestServer(t, store.AllocCliffhanger)
+	c := dialTest(t, srv)
+
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("p%d", i)
+	}
+	if err := c.PipelineSet(keys, []byte("vvv")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.PipelineGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("pipelined get returned %d of %d values", len(got), len(keys))
+	}
+	for _, k := range keys {
+		if string(got[k]) != "vvv" {
+			t.Fatalf("%s = %q", k, got[k])
+		}
+	}
+	// A batch mixing verbs, including a failing one mid-stream, must still
+	// produce one response per command in order.
+	if err := c.Set("x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PipelineGet([]string{"x", "missing", "x"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestServerConcurrentClients(t *testing.T) {
 	srv, _ := startTestServer(t, store.AllocCliffhanger)
 	const workers = 8
@@ -197,5 +233,55 @@ func TestServerConcurrentClients(t *testing.T) {
 	}
 	if srv.GetLatency.Count() == 0 || srv.SetLatency.Count() == 0 {
 		t.Fatalf("latency histograms empty")
+	}
+}
+
+// BenchmarkServerPipelined measures end-to-end server throughput at
+// pipeline depths 1 (closed-loop request/response) and 64 (batched): the
+// parse-ahead write path should make deep pipelines several times cheaper
+// per operation by amortizing flush syscalls across the batch.
+func BenchmarkServerPipelined(b *testing.B) {
+	for _, depth := range []int{1, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			st := store.New(store.Config{DefaultMode: store.AllocCliffhanger, DefaultPolicy: cache.PolicyLRU})
+			defer st.Close()
+			if err := st.RegisterTenant("default", 64<<20); err != nil {
+				b.Fatal(err)
+			}
+			srv := New(Config{Addr: "127.0.0.1:0", DefaultTenant: "default"}, st)
+			if err := srv.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			c, err := client.Dial(srv.Addr(), 2*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			const nKeys = 1 << 12
+			keys := make([]string, nKeys)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%d", i)
+			}
+			if err := c.PipelineSet(keys, make([]byte, 128)); err != nil {
+				b.Fatal(err)
+			}
+			batch := make([]string, depth)
+			b.ResetTimer()
+			for done := 0; done < b.N; done += depth {
+				for j := range batch {
+					batch[j] = keys[(done+j)&(nKeys-1)]
+				}
+				if depth == 1 {
+					if _, _, err := c.Get(batch[0]); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				if _, err := c.PipelineGet(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,276 @@
+package store
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cliffhanger/internal/cache"
+)
+
+// The bookkeeper moves Cliffhanger's structural accounting — shadow-queue
+// updates, hill-climbing credit transfers, cliff-pointer walks and eviction
+// decisions — off the request hot path. Request handlers touch only their
+// value shard; the structural consequences of each request are described by
+// a small event appended to a per-shard buffer (BP-Wrapper style batching),
+// and a background goroutine per tenant drains those buffers and replays
+// them against the Tenant. The per-request cost on the data plane is a
+// striped-lock map operation plus one slice append.
+//
+// Ordering: a key always hashes to the same shard, and a shard's buffer is
+// stolen and applied atomically under that shard's applyMu, so bookkeeping
+// for one key is always applied in arrival order. Across keys, the drain
+// goroutine's sweep merges all shard buffers back into arrival order using
+// per-event sequence stamps, so a settled engine has seen the same global
+// admission/eviction sequence a synchronous one would have; only the
+// inline-help path under overload applies a single shard's backlog slightly
+// ahead of other shards'. The one observable race is an eviction racing a
+// concurrent re-set of the victim key, which can leave the re-set key
+// structurally resident without a value for a short time (a spurious miss
+// that heals on the next set).
+//
+// Overload behaviour: lookup (GET) events are advisory — they feed hit/miss
+// counters and the shadow queues — and are shed once a shard's buffer hits
+// its high-water mark. Structural events (SET admissions, DELETEs) are never
+// dropped; instead, a producer that finds the buffer past the high-water
+// mark applies the backlog inline, so the value table and the eviction
+// queues cannot diverge without bound and nobody ever blocks on a channel.
+
+// eventKind identifies a bookkeeping event.
+type eventKind uint8
+
+const (
+	// evLookup records a GET: hit/miss accounting plus shadow-queue and
+	// cliff-pointer updates. Advisory; may be shed under overload.
+	evLookup eventKind = iota
+	// evAdmit records a SET: the key becomes resident and evictions may
+	// cascade. Structural; never dropped.
+	evAdmit
+	// evRemove records a DELETE of a resident key. Structural; never
+	// dropped.
+	evRemove
+)
+
+// event is one deferred bookkeeping operation. seq is a per-tenant arrival
+// stamp: sweeps merge the shard buffers back into arrival order so eviction
+// recency matches what a synchronous engine would have seen.
+type event struct {
+	kind eventKind
+	key  string
+	size int64
+	seq  uint64
+}
+
+const (
+	// eventBatchSize is the buffered-event count at which a producer nudges
+	// the drain goroutine.
+	eventBatchSize = 32
+	// shardBufferHighWater is the buffered-event count past which advisory
+	// events are shed and producers apply the backlog inline instead of
+	// letting it grow.
+	shardBufferHighWater = 256
+	// sweepInterval bounds the staleness of buffered events on idle or
+	// low-rate tenants: the drain goroutine sweeps all shard buffers this
+	// often even without notifications.
+	sweepInterval = 10 * time.Millisecond
+)
+
+// bookkeeper owns a tenant's structural state (the Tenant with its eviction
+// queues and Cliffhanger manager). All access to the Tenant goes through
+// bk.mu, which is what makes stats and snapshots race-free; in asynchronous
+// mode a drain goroutine replays buffered events, while in synchronous mode
+// callers apply events inline (the deterministic path whose semantics the
+// simulator defines).
+type bookkeeper struct {
+	tenant      *Tenant
+	entry       *tenantEntry
+	synchronous bool
+
+	// mu guards tenant. The drain goroutine, snapshot readers and inline
+	// appliers take it; in synchronous mode every request takes it.
+	mu sync.Mutex
+
+	notify chan struct{} // capacity 1; coalesced "buffers are filling" nudge
+	stop   chan struct{}
+	done   chan struct{}
+
+	closed atomic.Bool
+
+	// seq stamps events with their arrival order across all shards.
+	seq atomic.Uint64
+
+	// dropped counts advisory events shed because bookkeeping was
+	// saturated.
+	dropped atomic.Int64
+}
+
+func newBookkeeper(t *Tenant, e *tenantEntry, synchronous bool) *bookkeeper {
+	b := &bookkeeper{tenant: t, entry: e, synchronous: synchronous}
+	if !synchronous {
+		b.notify = make(chan struct{}, 1)
+		b.stop = make(chan struct{})
+		b.done = make(chan struct{})
+		go b.drainLoop()
+	}
+	return b
+}
+
+// recordAction tells a producer what to do after releasing the shard lock it
+// held while buffering an event.
+type recordAction uint8
+
+const (
+	// actNone: nothing further to do.
+	actNone recordAction = iota
+	// actNotify: nudge the drain goroutine.
+	actNotify
+	// actHelp: the buffer is past its high-water mark; apply the backlog
+	// inline.
+	actHelp
+	// actInline: nothing was buffered (synchronous mode or closed); apply
+	// the event inline.
+	actInline
+)
+
+// bufferLocked stamps ev and appends it to sh's buffer. The caller MUST hold
+// sh.mu and must be the same critical section that mutated the shard's
+// values — that is what makes per-key event order match per-key value order.
+// The returned action must be passed to finish after releasing sh.mu.
+func (b *bookkeeper) bufferLocked(sh *valueShard, ev event) recordAction {
+	if b.synchronous || b.closed.Load() {
+		return actInline
+	}
+	if ev.kind == evLookup && len(sh.pending) >= shardBufferHighWater {
+		b.dropped.Add(1)
+		return actNone
+	}
+	ev.seq = b.seq.Add(1)
+	sh.pending = append(sh.pending, ev)
+	switch n := len(sh.pending); {
+	case n >= shardBufferHighWater:
+		// Structural backlog: help out inline rather than queue further.
+		return actHelp
+	case n == eventBatchSize:
+		return actNotify
+	}
+	return actNone
+}
+
+// finish performs the deferred half of bufferLocked. The caller must NOT
+// hold any shard lock.
+func (b *bookkeeper) finish(sh *valueShard, ev event, act recordAction) {
+	switch act {
+	case actInline:
+		b.applyEvents([]event{ev})
+	case actHelp:
+		b.applyShard(sh)
+	case actNotify:
+		select {
+		case b.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// applyShard atomically steals and replays one shard's buffer. applyMu makes
+// steal+apply a single critical section per shard, so two appliers can never
+// replay one shard's events out of order.
+func (b *bookkeeper) applyShard(sh *valueShard) {
+	sh.applyMu.Lock()
+	sh.mu.Lock()
+	batch := sh.pending
+	sh.pending = nil
+	sh.mu.Unlock()
+	b.applyEvents(batch)
+	sh.applyMu.Unlock()
+}
+
+// applyEvents replays events against the tenant and drops the values of any
+// keys the tenant evicted. Victim values are dropped after releasing bk.mu,
+// so the lock order is always bk.mu before shard.mu.
+func (b *bookkeeper) applyEvents(batch []event) {
+	if len(batch) == 0 {
+		return
+	}
+	var victims []cache.Victim
+	b.mu.Lock()
+	for _, ev := range batch {
+		switch ev.kind {
+		case evLookup:
+			b.tenant.Lookup(ev.key, ev.size)
+		case evAdmit:
+			victims = append(victims, b.tenant.Admit(ev.key, ev.size)...)
+		case evRemove:
+			b.tenant.Delete(ev.key, ev.size)
+		}
+	}
+	b.mu.Unlock()
+	for _, v := range victims {
+		b.entry.dropValue(v.Key)
+	}
+}
+
+// drainLoop sweeps the shard buffers when nudged by producers and on a
+// timer, so low-rate tenants settle within sweepInterval even though their
+// buffers never reach a notification boundary.
+func (b *bookkeeper) drainLoop() {
+	defer close(b.done)
+	ticker := time.NewTicker(sweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-b.notify:
+			b.sweep()
+		case <-ticker.C:
+			b.sweep()
+		}
+	}
+}
+
+// sweep steals every shard's buffer and replays the union in arrival order,
+// so a settled engine has seen the same admission/eviction sequence a
+// synchronous one would have. All applyMu locks are held (in index order)
+// until the merged batch is applied, so a concurrent inline applier cannot
+// replay a shard's newer events ahead of the stolen older ones.
+func (b *bookkeeper) sweep() {
+	shards := b.entry.shards
+	var all []event
+	for i := range shards {
+		shards[i].applyMu.Lock()
+		shards[i].mu.Lock()
+		all = append(all, shards[i].pending...)
+		shards[i].pending = nil
+		shards[i].mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	b.applyEvents(all)
+	for i := range shards {
+		shards[i].applyMu.Unlock()
+	}
+}
+
+// flush blocks until every event recorded before the call has been applied:
+// buffered events are swept here, and an application already in flight on
+// another goroutine completes before the sweep passes its shard (applyMu).
+// It is a no-op in synchronous mode, where nothing is ever in flight.
+func (b *bookkeeper) flush() {
+	if b.synchronous {
+		return
+	}
+	b.sweep()
+}
+
+// close settles outstanding events and stops the drain goroutine. Events
+// recorded after close are applied inline by their callers; close is
+// idempotent.
+func (b *bookkeeper) close() {
+	if b.synchronous || b.closed.Swap(true) {
+		return
+	}
+	close(b.stop)
+	<-b.done
+	b.sweep()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cliffhanger/internal/cache"
 	"cliffhanger/internal/core"
@@ -22,26 +23,86 @@ type Config struct {
 	DefaultPolicy cache.PolicyKind
 	// Cliffhanger configures Cliffhanger-managed tenants.
 	Cliffhanger core.Config
+	// ValueShards is the number of striped-lock value shards per tenant
+	// (rounded up to a power of two). Zero uses defaultValueShards.
+	ValueShards int
+	// SyncBookkeeping applies structural bookkeeping inline on the request
+	// path instead of through the per-tenant event channel. Synchronous
+	// mode is deterministic and is what tests and the simulator semantics
+	// are defined against; asynchronous mode (the default) is faster.
+	SyncBookkeeping bool
 }
 
+// defaultValueShards is the per-tenant lock stripe count: enough that a
+// server's worth of worker goroutines rarely collide on one stripe.
+const defaultValueShards = 64
+
 // Store is a multi-tenant in-memory key-value cache: the value-holding layer
-// over Tenant. It is safe for concurrent use; operations on different
-// tenants proceed in parallel.
+// over Tenant. It is safe for concurrent use. Values live in an N-way
+// key-hash-sharded table with striped locks, so operations on independent
+// keys proceed in parallel even within one tenant; structural bookkeeping
+// (eviction queues, Cliffhanger shadow queues) is owned by a per-tenant
+// bookkeeper off the request path.
 type Store struct {
 	cfg Config
 
-	mu      sync.RWMutex
-	tenants map[string]*tenantShard
+	// tenants is a copy-on-write map so the hot path reads it without
+	// locking; mu serializes registration and close.
+	mu      sync.Mutex
+	tenants atomic.Pointer[map[string]*tenantEntry]
+	closed  bool
 }
 
-// tenantShard couples a Tenant with its value table and lock.
-type tenantShard struct {
+// valueShard is one stripe of a tenant's value table plus its bookkeeping
+// event buffer.
+type valueShard struct {
 	mu     sync.Mutex
-	tenant *Tenant
 	values map[string][]byte
 	// casCounter provides unique CAS tokens for the gets/cas protocol verbs.
 	casCounter uint64
 	cas        map[string]uint64
+
+	// pending buffers this shard's bookkeeping events (guarded by mu);
+	// applyMu makes stealing and replaying the buffer one atomic step so
+	// per-key event order is preserved (see bookkeeper.applyShard).
+	pending []event
+	applyMu sync.Mutex
+}
+
+// tenantEntry couples a tenant's sharded value table with the bookkeeper
+// that owns its structural state.
+type tenantEntry struct {
+	tenant *Tenant // structural state; guarded by bk.mu
+	bk     *bookkeeper
+	shards []valueShard
+	mask   uint64
+}
+
+func (e *tenantEntry) shardFor(key string) *valueShard {
+	return &e.shards[fnv1a64(key)&e.mask]
+}
+
+// dropValue removes key's value (used when the tenant evicts it).
+func (e *tenantEntry) dropValue(key string) {
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	delete(sh.values, key)
+	delete(sh.cas, key)
+	sh.mu.Unlock()
+}
+
+// fnv1a64 is the FNV-1a hash used to stripe keys across value shards.
+func fnv1a64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
 }
 
 // New returns an empty store.
@@ -52,7 +113,22 @@ func New(cfg Config) *Store {
 	if cfg.Cliffhanger.CreditBytes == 0 {
 		cfg.Cliffhanger = core.DefaultConfig()
 	}
-	return &Store{cfg: cfg, tenants: make(map[string]*tenantShard)}
+	if cfg.ValueShards <= 0 {
+		cfg.ValueShards = defaultValueShards
+	}
+	s := &Store{cfg: cfg}
+	empty := make(map[string]*tenantEntry)
+	s.tenants.Store(&empty)
+	return s
+}
+
+// nextPow2 rounds n up to a power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // RegisterTenant creates a tenant with the given memory reservation using
@@ -84,34 +160,47 @@ func (s *Store) RegisterTenantConfig(cfg TenantConfig) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.tenants[cfg.Name]; dup {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	old := *s.tenants.Load()
+	if _, dup := old[cfg.Name]; dup {
 		return fmt.Errorf("store: tenant %q already registered", cfg.Name)
 	}
-	s.tenants[cfg.Name] = &tenantShard{
+	n := nextPow2(s.cfg.ValueShards)
+	e := &tenantEntry{
 		tenant: tenant,
-		values: make(map[string][]byte),
-		cas:    make(map[string]uint64),
+		shards: make([]valueShard, n),
+		mask:   uint64(n - 1),
 	}
+	for i := range e.shards {
+		e.shards[i].values = make(map[string][]byte)
+		e.shards[i].cas = make(map[string]uint64)
+	}
+	e.bk = newBookkeeper(tenant, e, s.cfg.SyncBookkeeping)
+	next := make(map[string]*tenantEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[cfg.Name] = e
+	s.tenants.Store(&next)
 	return nil
 }
 
 // Tenants returns the registered tenant names, sorted.
 func (s *Store) Tenants() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.tenants))
-	for n := range s.tenants {
+	m := *s.tenants.Load()
+	names := make([]string, 0, len(m))
+	for n := range m {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
 }
 
-func (s *Store) shard(tenant string) (*tenantShard, bool) {
-	s.mu.RLock()
-	sh, ok := s.tenants[tenant]
-	s.mu.RUnlock()
-	return sh, ok
+func (s *Store) entry(tenant string) (*tenantEntry, bool) {
+	e, ok := (*s.tenants.Load())[tenant]
+	return e, ok
 }
 
 // ErrNoTenant is returned for operations on unregistered tenants.
@@ -122,136 +211,259 @@ func (e ErrNoTenant) Error() string { return fmt.Sprintf("store: unknown tenant 
 // Get returns the value stored under key for the tenant and whether it was
 // present.
 func (s *Store) Get(tenant, key string) ([]byte, bool, error) {
-	sh, ok := s.shard(tenant)
+	e, ok := s.entry(tenant)
 	if !ok {
 		return nil, false, ErrNoTenant{tenant}
 	}
+	sh := e.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	val, present := sh.values[key]
-	// Drive the eviction/shadow structures with the item's stored size.
-	sh.tenant.Lookup(key, int64(len(val)))
+	// Drive the eviction/shadow structures with the same size the SET path
+	// admitted the item under (key+value), so the lookup lands on the slab
+	// class that actually holds the key. Buffered in the same critical
+	// section as the value read, so per-key event order matches value order.
+	ev := event{kind: evLookup, key: key, size: lookupSize(key, val, present)}
+	act := e.bk.bufferLocked(sh, ev)
+	sh.mu.Unlock()
+	e.bk.finish(sh, ev, act)
 	if !present {
 		return nil, false, nil
 	}
 	return val, true, nil
 }
 
+// lookupSize returns the accounting size for a GET: resident keys use the
+// same key+value size their admission was charged, absent keys fall back to
+// the key length (their class is unknowable).
+func lookupSize(key string, val []byte, present bool) int64 {
+	if !present {
+		return int64(len(key))
+	}
+	return int64(len(key) + len(val))
+}
+
 // GetWithCAS returns the value and a CAS token for the gets verb.
 func (s *Store) GetWithCAS(tenant, key string) ([]byte, uint64, bool, error) {
-	sh, ok := s.shard(tenant)
+	e, ok := s.entry(tenant)
 	if !ok {
 		return nil, 0, false, ErrNoTenant{tenant}
 	}
+	sh := e.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	val, present := sh.values[key]
-	sh.tenant.Lookup(key, int64(len(val)))
+	cas := sh.cas[key]
+	ev := event{kind: evLookup, key: key, size: lookupSize(key, val, present)}
+	act := e.bk.bufferLocked(sh, ev)
+	sh.mu.Unlock()
+	e.bk.finish(sh, ev, act)
 	if !present {
 		return nil, 0, false, nil
 	}
-	return val, sh.cas[key], true, nil
+	return val, cas, true, nil
 }
 
 // Set stores value under key for the tenant, evicting older entries as
 // needed. Values too large for any slab class are rejected.
+//
+// With asynchronous bookkeeping the admission is settled off the request
+// path: in the rare case that the key does not fit its tenant at all, the
+// value is dropped shortly after the call instead of producing an error.
 func (s *Store) Set(tenant, key string, value []byte) error {
-	sh, ok := s.shard(tenant)
+	e, ok := s.entry(tenant)
 	if !ok {
 		return ErrNoTenant{tenant}
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	size := int64(len(key) + len(value))
-	if _, fits := sh.tenant.ClassFor(size); !fits {
+	if _, fits := e.tenant.ClassFor(size); !fits {
 		return fmt.Errorf("store: object %q of %d bytes exceeds the largest slab class", key, size)
 	}
-	victims := sh.tenant.Admit(key, size)
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	sh.values[key] = value
+	sh.casCounter++
+	sh.cas[key] = sh.casCounter
+	if !e.bk.synchronous {
+		ev := event{kind: evAdmit, key: key, size: size}
+		act := e.bk.bufferLocked(sh, ev)
+		sh.mu.Unlock()
+		e.bk.finish(sh, ev, act)
+		return nil
+	}
+	sh.mu.Unlock()
+
+	e.bk.mu.Lock()
+	victims := e.tenant.Admit(key, size)
+	e.bk.mu.Unlock()
 	admitted := true
 	for _, v := range victims {
 		if v.Key == key {
 			admitted = false
 			continue
 		}
-		delete(sh.values, v.Key)
-		delete(sh.cas, v.Key)
+		e.dropValue(v.Key)
 	}
 	if !admitted {
-		delete(sh.values, key)
-		delete(sh.cas, key)
+		e.dropValue(key)
 		return fmt.Errorf("store: object %q does not fit in tenant %q", key, tenant)
 	}
-	sh.values[key] = value
-	sh.casCounter++
-	sh.cas[key] = sh.casCounter
 	return nil
 }
 
 // Delete removes key from the tenant, reporting whether it was present.
 func (s *Store) Delete(tenant, key string) (bool, error) {
-	sh, ok := s.shard(tenant)
+	e, ok := s.entry(tenant)
 	if !ok {
 		return false, ErrNoTenant{tenant}
 	}
+	sh := e.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	val, present := sh.values[key]
-	if present {
-		sh.tenant.Delete(key, int64(len(key)+len(val)))
-		delete(sh.values, key)
-		delete(sh.cas, key)
+	if !present {
+		sh.mu.Unlock()
+		return false, nil
 	}
-	return present, nil
+	delete(sh.values, key)
+	delete(sh.cas, key)
+	ev := event{kind: evRemove, key: key, size: int64(len(key) + len(val))}
+	act := e.bk.bufferLocked(sh, ev)
+	sh.mu.Unlock()
+	e.bk.finish(sh, ev, act)
+	return true, nil
 }
 
-// Flush removes every entry of the tenant.
-func (s *Store) Flush(tenant string) error {
-	sh, ok := s.shard(tenant)
+// FlushTenant removes every entry of the tenant.
+func (s *Store) FlushTenant(tenant string) error {
+	e, ok := s.entry(tenant)
 	if !ok {
 		return ErrNoTenant{tenant}
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	for key, val := range sh.values {
-		sh.tenant.Delete(key, int64(len(key)+len(val)))
+	// Settle in-flight bookkeeping so the structural removals below see
+	// every admission.
+	e.bk.flush()
+	var evs []event
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.values {
+			evs = append(evs, event{kind: evRemove, key: k, size: int64(len(k) + len(v))})
+		}
+		sh.values = make(map[string][]byte)
+		sh.cas = make(map[string]uint64)
+		sh.mu.Unlock()
 	}
-	sh.values = make(map[string][]byte)
-	sh.cas = make(map[string]uint64)
+	e.bk.mu.Lock()
+	for _, ev := range evs {
+		e.tenant.Delete(ev.key, ev.size)
+	}
+	e.bk.mu.Unlock()
 	return nil
 }
 
-// Stats returns the tenant's counters.
+// Flush blocks until every bookkeeping event enqueued before the call has
+// been applied, so stats and snapshots reflect all completed operations.
+func (s *Store) Flush() {
+	for _, e := range *s.tenants.Load() {
+		e.bk.flush()
+	}
+}
+
+// Close settles and stops every tenant's bookkeeper. Operations issued after
+// Close fall back to inline bookkeeping; Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, e := range *s.tenants.Load() {
+		e.bk.close()
+	}
+	return nil
+}
+
+// Stats returns the tenant's counters, settling in-flight bookkeeping first.
 func (s *Store) Stats(tenant string) (TenantStats, error) {
-	sh, ok := s.shard(tenant)
+	e, ok := s.entry(tenant)
 	if !ok {
 		return TenantStats{}, ErrNoTenant{tenant}
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.tenant.Stats(), nil
+	e.bk.flush()
+	e.bk.mu.Lock()
+	defer e.bk.mu.Unlock()
+	return e.tenant.Stats(), nil
+}
+
+// QueueSnapshots returns the per-queue Cliffhanger state of the tenant
+// (nil for tenants in other allocation modes), settling in-flight
+// bookkeeping first. It is safe to call concurrently with request traffic.
+func (s *Store) QueueSnapshots(tenant string) ([]core.QueueSnapshot, error) {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return nil, ErrNoTenant{tenant}
+	}
+	e.bk.flush()
+	e.bk.mu.Lock()
+	defer e.bk.mu.Unlock()
+	m := e.tenant.Manager()
+	if m == nil {
+		return nil, nil
+	}
+	return m.Snapshot(), nil
+}
+
+// ClassCapacities returns the tenant's current per-class capacities in
+// bytes, settling in-flight bookkeeping first.
+func (s *Store) ClassCapacities(tenant string) (map[int]int64, error) {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return nil, ErrNoTenant{tenant}
+	}
+	e.bk.flush()
+	e.bk.mu.Lock()
+	defer e.bk.mu.Unlock()
+	return e.tenant.ClassCapacities(), nil
 }
 
 // Items reports the number of values the tenant currently holds.
 func (s *Store) Items(tenant string) (int, error) {
-	sh, ok := s.shard(tenant)
+	e, ok := s.entry(tenant)
 	if !ok {
 		return 0, ErrNoTenant{tenant}
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return len(sh.values), nil
+	e.bk.flush()
+	n := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		n += len(sh.values)
+		sh.mu.Unlock()
+	}
+	return n, nil
 }
 
 // UsedBytes reports the tenant's resident bytes as accounted by its slab
-// queues.
+// queues, settling in-flight bookkeeping first.
 func (s *Store) UsedBytes(tenant string) (int64, error) {
-	sh, ok := s.shard(tenant)
+	e, ok := s.entry(tenant)
 	if !ok {
 		return 0, ErrNoTenant{tenant}
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.tenant.UsedBytes(), nil
+	e.bk.flush()
+	e.bk.mu.Lock()
+	defer e.bk.mu.Unlock()
+	return e.tenant.UsedBytes(), nil
+}
+
+// DroppedEvents reports how many advisory bookkeeping events the tenant has
+// shed under overload (structural events are never dropped).
+func (s *Store) DroppedEvents(tenant string) (int64, error) {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return 0, ErrNoTenant{tenant}
+	}
+	return e.bk.dropped.Load(), nil
 }
 
 // Victim re-exports cache.Victim for callers that only import store.

@@ -5,12 +5,35 @@
 // page allocation, a static (solver-provided) allocation, a global LRU
 // (log-structured-memory-like) layout, or Cliffhanger.
 //
-// The engine is split in two layers. Tenant tracks one application's cache
-// *structure* — which keys are resident in which slab class and how memory is
-// divided — without holding values; the trace-driven simulator uses Tenants
-// directly so that replaying hundreds of millions of requests does not
-// require materializing values. Store (store.go) adds the value hash table,
-// per-tenant locking and the operations the network server needs.
+// The engine is split in three layers:
+//
+//   - Tenant (this file) tracks one application's cache *structure* — which
+//     keys are resident in which slab class and how memory is divided —
+//     without holding values. It is single-threaded by design: the
+//     trace-driven simulator (internal/sim) drives Tenants directly so that
+//     replaying hundreds of millions of requests is deterministic and does
+//     not require materializing values.
+//
+//   - Store (store.go) is the data plane the network server runs on. Each
+//     tenant's values live in an N-way key-hash-sharded table with striped
+//     locks, so GET/SET traffic for independent keys of one hot application
+//     proceeds in parallel across cores; the tenant registry itself is a
+//     copy-on-write map read without locks.
+//
+//   - bookkeeper (bookkeeper.go) is the accounting plane. All structural
+//     consequences of a request — shadow-queue updates, hill-climbing credit
+//     transfers, cliff-pointer walks, evictions — are described by small
+//     events, batched per value shard, and drained by one background
+//     goroutine per tenant, so Cliffhanger's bookkeeping is off the request
+//     hot path. A synchronous mode (Config.SyncBookkeeping) applies events
+//     inline for deterministic tests; Store.Flush settles in-flight events
+//     so snapshots and stats observe a quiesced engine, and Store.Close
+//     stops the drain goroutines.
+//
+// Concurrency contract: Tenant and everything it owns (core.Manager,
+// core.Queue) are not safe for concurrent use; the bookkeeper serializes all
+// access to them behind its mutex, which is also what makes Stats,
+// QueueSnapshots and UsedBytes race-free against request traffic.
 package store
 
 import (
@@ -113,7 +136,8 @@ func (s TenantStats) HitRate() float64 {
 }
 
 // Tenant tracks one application's cache structure. It is not safe for
-// concurrent use; Store provides locking.
+// concurrent use; in the Store each tenant's bookkeeper serializes access,
+// and the simulator drives it from a single goroutine.
 type Tenant struct {
 	cfg  TenantConfig
 	geom *slab.Geometry
