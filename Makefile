@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bins clean
+.PHONY: build test race vet fmt bench bins conformance clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,9 @@ vet:
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+conformance:
+	$(GO) test -count=1 -run TestServerProtocolConformance -v ./internal/server/
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkStoreGetSet -benchmem ./internal/store/

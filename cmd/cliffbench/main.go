@@ -3,11 +3,15 @@
 // memcached text protocol, with key popularity drawn from a zipf
 // distribution — the skewed-popularity regime where Cliffhanger's queue
 // re-sizing matters. GET misses are followed by a SET of the same key,
-// modelling the application's read-through fill.
+// modelling the application's read-through fill. -ttl gives every SET an
+// expiry so the TTL reaper is exercised, and -mutate mixes in the
+// read-modify verbs (touch, append, incr) so the full verb set is
+// load-testable.
 //
 // Example:
 //
-//	cliffbench -addr 127.0.0.1:11211 -conns 8 -duration 30s -zipf 1.1
+//	cliffbench -addr 127.0.0.1:11211 -conns 8 -duration 30s -zipf 1.1 \
+//	    -ttl 60 -mutate 0.05
 package main
 
 import (
@@ -38,6 +42,8 @@ func main() {
 		warm      = flag.Bool("warm", true, "preload every key before measuring")
 		timeout   = flag.Duration("timeout", 5*time.Second, "dial timeout")
 		seed      = flag.Int64("seed", 1, "base RNG seed")
+		ttl       = flag.Int64("ttl", 0, "exptime in seconds applied to every SET (0 = never expire)")
+		mutate    = flag.Float64("mutate", 0, "fraction of operations that are mutation verbs (touch/append/incr)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cliffbench: ", 0)
@@ -66,7 +72,7 @@ func main() {
 			if hi > len(keyspace) {
 				hi = len(keyspace)
 			}
-			if err := c.PipelineSet(keyspace[lo:hi], value); err != nil {
+			if err := c.PipelineSetOptions(keyspace[lo:hi], value, 0, *ttl); err != nil {
 				logger.Fatalf("warmup: %v", err)
 			}
 		}
@@ -74,13 +80,13 @@ func main() {
 	}
 
 	var (
-		ops, hits, misses, fills atomic.Int64
-		lat                      metrics.LatencyHistogram
-		wg                       sync.WaitGroup
+		ops, hits, misses, fills, mutations atomic.Int64
+		lat                                 metrics.LatencyHistogram
+		wg                                  sync.WaitGroup
 	)
 	deadline := time.Now().Add(*duration)
-	logger.Printf("running %d conns for %v (zipf=%.2f, pipeline=%d, get-ratio=%.2f)",
-		*conns, *duration, *zipfS, *pipeline, *getRatio)
+	logger.Printf("running %d conns for %v (zipf=%.2f, pipeline=%d, get-ratio=%.2f, ttl=%ds, mutate=%.2f)",
+		*conns, *duration, *zipfS, *pipeline, *getRatio, *ttl, *mutate)
 	for w := 0; w < *conns; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -91,10 +97,20 @@ func main() {
 			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(keyspace)-1))
 			batch := make([]string, *pipeline)
 			for time.Now().Before(deadline) {
-				if rng.Float64() >= *getRatio {
+				roll := rng.Float64()
+				if roll < *mutate {
 					key := keyspace[zipf.Uint64()]
 					start := time.Now()
-					if err := c.Set(key, value); err != nil {
+					runMutation(logger, c, rng, key, value, *ttl)
+					lat.Record(time.Since(start))
+					ops.Add(1)
+					mutations.Add(1)
+					continue
+				}
+				if roll >= *getRatio {
+					key := keyspace[zipf.Uint64()]
+					start := time.Now()
+					if err := c.SetWithOptions(key, value, 0, *ttl); err != nil {
 						logger.Fatalf("set: %v", err)
 					}
 					lat.Record(time.Since(start))
@@ -118,7 +134,7 @@ func main() {
 					}
 					misses.Add(1)
 					// Read-through fill: repopulate the missed key.
-					if err := c.Set(k, value); err != nil {
+					if err := c.SetWithOptions(k, value, 0, *ttl); err != nil {
 						logger.Fatalf("fill: %v", err)
 					}
 					fills.Add(1)
@@ -136,9 +152,39 @@ func main() {
 	if h+m > 0 {
 		hitRate = float64(h) / float64(h+m)
 	}
-	fmt.Printf("ops=%d ops/s=%.0f hit_rate=%.4f fills=%d\n",
-		total, float64(total)/elapsed.Seconds(), hitRate, fills.Load())
+	fmt.Printf("ops=%d ops/s=%.0f hit_rate=%.4f fills=%d mutations=%d\n",
+		total, float64(total)/elapsed.Seconds(), hitRate, fills.Load(), mutations.Load())
 	fmt.Printf("latency per round trip: %s\n", lat.String())
+}
+
+// runMutation issues one mutation verb against key: a TTL refresh (touch), a
+// small append, or an increment of a per-key counter sibling. NOT_FOUND
+// outcomes are normal under eviction and expiry; an append rejected because
+// the value outgrew its slab class is healed by re-setting the key.
+func runMutation(logger *log.Logger, c *client.Client, rng *rand.Rand, key string, value []byte, ttl int64) {
+	switch rng.Intn(3) {
+	case 0:
+		if _, err := c.Touch(key, ttl); err != nil {
+			logger.Fatalf("touch: %v", err)
+		}
+	case 1:
+		if _, err := c.Append(key, []byte("+")); err != nil {
+			// Likely grown past the largest slab class: reset the key.
+			if serr := c.SetWithOptions(key, value, 0, ttl); serr != nil {
+				logger.Fatalf("append: %v (reset: %v)", err, serr)
+			}
+		}
+	default:
+		ctr := key + ".ctr"
+		if _, found, err := c.Incr(ctr, 1); err != nil {
+			logger.Fatalf("incr: %v", err)
+		} else if !found {
+			// First touch of this counter: seed it.
+			if err := c.SetWithOptions(ctr, []byte("0"), 0, ttl); err != nil {
+				logger.Fatalf("incr seed: %v", err)
+			}
+		}
+	}
 }
 
 func dial(logger *log.Logger, addr, tenant string, timeout time.Duration) *client.Client {

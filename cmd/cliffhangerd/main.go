@@ -5,9 +5,12 @@
 //
 //	cliffhangerd -addr :11211 -tenants default:64,app2:32 -mode cliffhanger
 //
-// Clients speak standard memcached get/gets/set/delete/stats/flush_all plus
-// the non-standard "tenant <name>" verb to select an application on the
-// connection.
+// Clients speak the standard memcached text verbs — get/gets, set, add,
+// replace, append, prepend, cas, touch, incr/decr, delete, stats,
+// flush_all — plus the non-standard "tenant <name>" verb to select an
+// application on the connection. Items set with an exptime expire lazily on
+// access and are reclaimed by a background reaper folded into each tenant's
+// bookkeeper.
 package main
 
 import (

@@ -1,9 +1,10 @@
 // Package client is a small memcached-text-protocol client used by the load
-// generator, the examples and the end-to-end tests. It supports the subset
-// of verbs the server implements, including pipelined batches (PipelineGet,
-// PipelineSet) that amortize one flush over many commands, and is safe for
-// use by one goroutine per Client (the load generator opens one Client per
-// worker connection).
+// generator, the examples and the end-to-end tests. It supports the verbs
+// the server implements — get/gets, set/add/replace/append/prepend/cas,
+// touch, incr/decr, delete, stats, flush_all, version, tenant — including
+// pipelined batches (PipelineGet, PipelineSet) that amortize one flush over
+// many commands, and is safe for use by one goroutine per Client (the load
+// generator opens one Client per worker connection).
 package client
 
 import (
@@ -63,22 +64,16 @@ func (c *Client) SelectTenant(name string) error {
 	return nil
 }
 
-// Set stores value under key.
+// Set stores value under key with zero flags and no expiry.
 func (c *Client) Set(key string, value []byte) error {
-	if _, err := fmt.Fprintf(c.w, "set %s 0 0 %d\r\n", key, len(value)); err != nil {
-		return err
-	}
-	if _, err := c.w.Write(value); err != nil {
-		return err
-	}
-	if err := c.writeLine(""); err != nil {
-		return err
-	}
-	line, err := c.readLine()
-	if err != nil {
-		return err
-	}
-	ok, err := protocol.ParseResponseLine(line)
+	return c.SetWithOptions(key, value, 0, 0)
+}
+
+// SetWithOptions stores value under key with the given flags and exptime
+// (memcached semantics: 0 never expires, <= 30 days is relative seconds,
+// larger is an absolute unix timestamp).
+func (c *Client) SetWithOptions(key string, value []byte, flags uint32, exptime int64) error {
+	ok, line, err := c.storage("set", key, value, flags, exptime, 0)
 	if err != nil {
 		return err
 	}
@@ -86,6 +81,150 @@ func (c *Client) Set(key string, value []byte) error {
 		return fmt.Errorf("client: set not stored: %s", line)
 	}
 	return nil
+}
+
+// Add stores value only if key is absent, reporting whether it was stored.
+func (c *Client) Add(key string, value []byte, flags uint32, exptime int64) (bool, error) {
+	ok, _, err := c.storage("add", key, value, flags, exptime, 0)
+	return ok, err
+}
+
+// Replace stores value only if key is present, reporting whether it was
+// stored.
+func (c *Client) Replace(key string, value []byte, flags uint32, exptime int64) (bool, error) {
+	ok, _, err := c.storage("replace", key, value, flags, exptime, 0)
+	return ok, err
+}
+
+// Append appends value to key's existing value, reporting whether the key
+// existed.
+func (c *Client) Append(key string, value []byte) (bool, error) {
+	ok, _, err := c.storage("append", key, value, 0, 0, 0)
+	return ok, err
+}
+
+// Prepend prepends value to key's existing value, reporting whether the key
+// existed.
+func (c *Client) Prepend(key string, value []byte) (bool, error) {
+	ok, _, err := c.storage("prepend", key, value, 0, 0, 0)
+	return ok, err
+}
+
+// CasStatus is the outcome of a Cas call.
+type CasStatus int
+
+const (
+	// CasStored means the swap succeeded.
+	CasStored CasStatus = iota
+	// CasExists means the item changed since the Gets that produced the
+	// token.
+	CasExists
+	// CasNotFound means the key does not exist.
+	CasNotFound
+)
+
+// Cas stores value under key only if the item still carries the CAS token a
+// previous Gets returned.
+func (c *Client) Cas(key string, value []byte, flags uint32, exptime int64, cas uint64) (CasStatus, error) {
+	_, line, err := c.storage("cas", key, value, flags, exptime, cas)
+	if err != nil {
+		return CasNotFound, err
+	}
+	switch line {
+	case "STORED":
+		return CasStored, nil
+	case "EXISTS":
+		return CasExists, nil
+	default:
+		return CasNotFound, nil
+	}
+}
+
+// storage runs one storage verb round trip and reports the positive/negative
+// outcome plus the raw response line.
+func (c *Client) storage(verb, key string, value []byte, flags uint32, exptime int64, cas uint64) (bool, string, error) {
+	if verb == "cas" {
+		if _, err := fmt.Fprintf(c.w, "cas %s %d %d %d %d\r\n", key, flags, exptime, len(value), cas); err != nil {
+			return false, "", err
+		}
+	} else {
+		if _, err := fmt.Fprintf(c.w, "%s %s %d %d %d\r\n", verb, key, flags, exptime, len(value)); err != nil {
+			return false, "", err
+		}
+	}
+	if _, err := c.w.Write(value); err != nil {
+		return false, "", err
+	}
+	if err := c.writeLine(""); err != nil {
+		return false, "", err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, "", err
+	}
+	ok, err := protocol.ParseResponseLine(line)
+	return ok, line, err
+}
+
+// Touch updates key's expiry without fetching the value, reporting whether
+// the key existed.
+func (c *Client) Touch(key string, exptime int64) (bool, error) {
+	if err := c.writeLine(fmt.Sprintf("touch %s %d", key, exptime)); err != nil {
+		return false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	return protocol.ParseResponseLine(line)
+}
+
+// Incr adds delta to the decimal counter stored under key, returning the new
+// value. The second return value is false when the key does not exist.
+func (c *Client) Incr(key string, delta uint64) (uint64, bool, error) {
+	return c.incrDecr("incr", key, delta)
+}
+
+// Decr subtracts delta from the counter stored under key, clamping at zero.
+func (c *Client) Decr(key string, delta uint64) (uint64, bool, error) {
+	return c.incrDecr("decr", key, delta)
+}
+
+func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, bool, error) {
+	if err := c.writeLine(fmt.Sprintf("%s %s %d", verb, key, delta)); err != nil {
+		return 0, false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return 0, false, err
+	}
+	if line == "NOT_FOUND" {
+		return 0, false, nil
+	}
+	val, perr := strconv.ParseUint(line, 10, 64)
+	if perr != nil {
+		if _, err := protocol.ParseResponseLine(line); err != nil {
+			return 0, false, err
+		}
+		return 0, false, fmt.Errorf("client: unexpected %s response %q", verb, line)
+	}
+	return val, true, nil
+}
+
+// Gets fetches key along with its flags and CAS token.
+func (c *Client) Gets(key string) (data []byte, flags uint32, cas uint64, ok bool, err error) {
+	if err := c.writeLine("gets " + key); err != nil {
+		return nil, 0, 0, false, err
+	}
+	values, err := c.readValueItems()
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	v, ok := values[key]
+	if !ok {
+		return nil, 0, 0, false, nil
+	}
+	return v.Data, v.Flags, v.CAS, true, nil
 }
 
 // Get fetches key, reporting whether it was present.
@@ -119,8 +258,13 @@ func (c *Client) GetMulti(keys []string) (map[string][]byte, error) {
 // buffered reader and flushes once per batch, so a deep pipeline pays one
 // syscall per direction per batch instead of one per command.
 func (c *Client) PipelineSet(keys []string, value []byte) error {
+	return c.PipelineSetOptions(keys, value, 0, 0)
+}
+
+// PipelineSetOptions is PipelineSet with explicit flags and exptime.
+func (c *Client) PipelineSetOptions(keys []string, value []byte, flags uint32, exptime int64) error {
 	for _, key := range keys {
-		if _, err := fmt.Fprintf(c.w, "set %s 0 0 %d\r\n", key, len(value)); err != nil {
+		if _, err := fmt.Fprintf(c.w, "set %s %d %d %d\r\n", key, flags, exptime, len(value)); err != nil {
 			return err
 		}
 		if _, err := c.w.Write(value); err != nil {
@@ -251,9 +395,24 @@ func (c *Client) readLine() (string, error) {
 	return strings.TrimRight(line, "\r\n"), nil
 }
 
-// readValues parses the VALUE blocks of a get response until END.
+// readValues parses the VALUE blocks of a get response until END, keeping
+// only the data.
 func (c *Client) readValues() (map[string][]byte, error) {
-	out := make(map[string][]byte)
+	items, err := c.readValueItems()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(items))
+	for k, v := range items {
+		out[k] = v.Data
+	}
+	return out, nil
+}
+
+// readValueItems parses the VALUE blocks of a get/gets response until END,
+// including flags and (for gets) the CAS token.
+func (c *Client) readValueItems() (map[string]protocol.Value, error) {
+	out := make(map[string]protocol.Value)
 	for {
 		line, err := c.readLine()
 		if err != nil {
@@ -266,15 +425,25 @@ func (c *Client) readValues() (map[string][]byte, error) {
 		if len(fields) < 4 || fields[0] != "VALUE" {
 			return nil, fmt.Errorf("client: unexpected get response %q", line)
 		}
+		flags, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad flags in %q", line)
+		}
 		size, err := strconv.Atoi(fields[3])
 		if err != nil {
 			return nil, fmt.Errorf("client: bad value size in %q", line)
+		}
+		var cas uint64
+		if len(fields) >= 5 {
+			if cas, err = strconv.ParseUint(fields[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("client: bad cas token in %q", line)
+			}
 		}
 		data := make([]byte, size+2)
 		if _, err := readFull(c.r, data); err != nil {
 			return nil, err
 		}
-		out[fields[1]] = data[:size]
+		out[fields[1]] = protocol.Value{Key: fields[1], Flags: uint32(flags), CAS: cas, Data: data[:size]}
 	}
 }
 

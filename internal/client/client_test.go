@@ -170,7 +170,10 @@ func TestClientMalformedLineErrors(t *testing.T) {
 		"bogusverb a b\r\n",
 		"get\r\n",
 		"set onlytwo 0\r\n",
-		"set k notanumber 0 5\r\n",
+		// A storage command with a bad header still announces its data
+		// block; the server consumes it before reporting the error, so the
+		// payload must ride along with the malformed line.
+		"set k notanumber 0 5\r\nhello\r\n",
 	} {
 		if _, err := conn.Write([]byte(line)); err != nil {
 			t.Fatal(err)
@@ -190,5 +193,66 @@ func TestClientMalformedLineErrors(t *testing.T) {
 	resp, err := r.ReadString('\n')
 	if err != nil || !strings.HasPrefix(resp, "VERSION") {
 		t.Fatalf("version after errors = %q %v", resp, err)
+	}
+}
+
+// TestClientVerbRoundTrips exercises the new verbs end to end through the
+// client API: add/replace, append/prepend, gets/cas, touch and incr/decr.
+func TestClientVerbRoundTrips(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+
+	if stored, err := c.Add("k", []byte("base"), 3, 0); err != nil || !stored {
+		t.Fatalf("add = %v %v", stored, err)
+	}
+	if stored, _ := c.Add("k", []byte("again"), 0, 0); stored {
+		t.Fatalf("second add should not store")
+	}
+	if stored, err := c.Replace("k", []byte("base2"), 3, 0); err != nil || !stored {
+		t.Fatalf("replace = %v %v", stored, err)
+	}
+	if ok, err := c.Append("k", []byte(".end")); err != nil || !ok {
+		t.Fatalf("append = %v %v", ok, err)
+	}
+	if ok, err := c.Prepend("k", []byte("start.")); err != nil || !ok {
+		t.Fatalf("prepend = %v %v", ok, err)
+	}
+	data, flags, cas, ok, err := c.Gets("k")
+	if err != nil || !ok {
+		t.Fatalf("gets = %v %v", ok, err)
+	}
+	if string(data) != "start.base2.end" || flags != 3 || cas == 0 {
+		t.Fatalf("gets = %q flags=%d cas=%d", data, flags, cas)
+	}
+	if st, err := c.Cas("k", []byte("swapped"), 0, 0, cas); err != nil || st != client.CasStored {
+		t.Fatalf("cas with fresh token = %v %v", st, err)
+	}
+	if st, _ := c.Cas("k", []byte("stale"), 0, 0, cas); st != client.CasExists {
+		t.Fatalf("cas with stale token = %v", st)
+	}
+	if st, _ := c.Cas("ghost", []byte("x"), 0, 0, 1); st != client.CasNotFound {
+		t.Fatalf("cas of missing key = %v", st)
+	}
+	if ok, err := c.Touch("k", 300); err != nil || !ok {
+		t.Fatalf("touch = %v %v", ok, err)
+	}
+	if ok, _ := c.Touch("ghost", 300); ok {
+		t.Fatalf("touch of missing key should be false")
+	}
+
+	if err := c.Set("n", []byte("41")); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, err := c.Incr("n", 1); err != nil || !found || v != 42 {
+		t.Fatalf("incr = %d %v %v", v, found, err)
+	}
+	if v, found, err := c.Decr("n", 100); err != nil || !found || v != 0 {
+		t.Fatalf("decr = %d %v %v", v, found, err)
+	}
+	if _, found, err := c.Incr("ghost", 1); err != nil || found {
+		t.Fatalf("incr of missing key = %v %v", found, err)
+	}
+	if _, _, err := c.Incr("k", 1); err == nil {
+		t.Fatalf("incr of non-numeric value should error")
 	}
 }

@@ -1,5 +1,6 @@
-// Package protocol implements the subset of the memcached text protocol the
-// server and load generator speak: get/gets, set, delete, stats, flush_all,
+// Package protocol implements the memcached text protocol the server and
+// load generator speak: get/gets, the storage verbs set, add, replace,
+// append, prepend and cas, touch, incr/decr, delete, stats, flush_all,
 // version, quit, plus a non-standard "tenant" verb that selects the
 // application (Memcachier multiplexes tenants per connection after
 // authentication; the tenant verb stands in for that handshake).
@@ -15,15 +16,19 @@ import (
 
 // Command is a parsed client command.
 type Command struct {
-	// Name is the verb: get, gets, set, delete, stats, flush_all, version,
-	// quit or tenant.
+	// Name is the verb: get, gets, set, add, replace, append, prepend, cas,
+	// touch, incr, decr, delete, stats, flush_all, version, quit or tenant.
 	Name string
 	// Keys holds the key arguments (get may carry several).
 	Keys []string
-	// Flags and ExpTime are stored opaquely for set.
+	// Flags and ExpTime are stored opaquely for the storage verbs and touch.
 	Flags   uint32
 	ExpTime int64
-	// Data is the payload of a set.
+	// CAS is the token argument of the cas verb.
+	CAS uint64
+	// Delta is the amount argument of incr/decr.
+	Delta uint64
+	// Data is the payload of a storage verb.
 	Data []byte
 	// NoReply suppresses the response when true.
 	NoReply bool
@@ -63,29 +68,53 @@ func ReadCommand(r *bufio.Reader) (*Command, error) {
 			}
 		}
 		cmd.Keys = args
-	case "set", "add", "replace":
+	case "set", "add", "replace", "append", "prepend", "cas":
+		want := 4
+		if cmd.Name == "cas" {
+			want = 5
+		}
 		if len(args) < 4 {
 			return nil, fmt.Errorf("protocol: %s needs <key> <flags> <exptime> <bytes>", cmd.Name)
 		}
-		if err := validateKey(args[0]); err != nil {
-			return nil, err
-		}
-		cmd.Keys = []string{args[0]}
-		flags, err := strconv.ParseUint(args[1], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("protocol: bad flags %q", args[1])
-		}
-		cmd.Flags = uint32(flags)
-		exp, err := strconv.ParseInt(args[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("protocol: bad exptime %q", args[2])
-		}
-		cmd.ExpTime = exp
+		// The size is parsed first: once it is known, any other header
+		// error still consumes the announced data block, so a malformed
+		// storage command can never leave its payload behind to be parsed
+		// as subsequent commands (command smuggling / pipeline desync).
 		size, err := strconv.Atoi(args[3])
 		if err != nil || size < 0 || size > MaxValueLength {
 			return nil, fmt.Errorf("protocol: bad bytes %q", args[3])
 		}
-		if len(args) > 4 && args[len(args)-1] == "noreply" {
+		fail := func(err error) (*Command, error) {
+			if _, cerr := io.CopyN(io.Discard, r, int64(size)+2); cerr != nil {
+				return nil, fmt.Errorf("protocol: short data block: %v", cerr)
+			}
+			return nil, err
+		}
+		if err := validateKey(args[0]); err != nil {
+			return fail(err)
+		}
+		cmd.Keys = []string{args[0]}
+		flags, err := strconv.ParseUint(args[1], 10, 32)
+		if err != nil {
+			return fail(fmt.Errorf("protocol: bad flags %q", args[1]))
+		}
+		cmd.Flags = uint32(flags)
+		exp, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return fail(fmt.Errorf("protocol: bad exptime %q", args[2]))
+		}
+		cmd.ExpTime = exp
+		if cmd.Name == "cas" {
+			if len(args) < 5 {
+				return fail(fmt.Errorf("protocol: cas needs <key> <flags> <exptime> <bytes> <cas unique>"))
+			}
+			cas, err := strconv.ParseUint(args[4], 10, 64)
+			if err != nil {
+				return fail(fmt.Errorf("protocol: bad cas unique %q", args[4]))
+			}
+			cmd.CAS = cas
+		}
+		if len(args) > want && args[len(args)-1] == "noreply" {
 			cmd.NoReply = true
 		}
 		data := make([]byte, size+2)
@@ -96,6 +125,38 @@ func ReadCommand(r *bufio.Reader) (*Command, error) {
 			return nil, fmt.Errorf("protocol: data block not terminated by CRLF")
 		}
 		cmd.Data = data[:size]
+	case "touch":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("protocol: touch needs <key> <exptime>")
+		}
+		if err := validateKey(args[0]); err != nil {
+			return nil, err
+		}
+		cmd.Keys = []string{args[0]}
+		exp, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: bad exptime %q", args[1])
+		}
+		cmd.ExpTime = exp
+		if len(args) > 2 && args[len(args)-1] == "noreply" {
+			cmd.NoReply = true
+		}
+	case "incr", "decr":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("protocol: %s needs <key> <value>", cmd.Name)
+		}
+		if err := validateKey(args[0]); err != nil {
+			return nil, err
+		}
+		cmd.Keys = []string{args[0]}
+		delta, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: invalid numeric delta argument %q", args[1])
+		}
+		cmd.Delta = delta
+		if len(args) > 2 && args[len(args)-1] == "noreply" {
+			cmd.NoReply = true
+		}
 	case "delete":
 		if len(args) < 1 {
 			return nil, fmt.Errorf("protocol: delete needs a key")
@@ -193,12 +254,13 @@ func WriteStats(w *bufio.Writer, stats map[string]string, order []string) error 
 }
 
 // ParseResponseLine classifies a simple one-line response (STORED, DELETED,
-// NOT_FOUND, ERROR ...).
+// NOT_FOUND, ERROR ...). EXISTS (a lost cas race) and NOT_STORED are
+// negative outcomes, not errors.
 func ParseResponseLine(line string) (ok bool, err error) {
 	switch {
-	case line == "STORED" || line == "DELETED" || line == "OK" || line == "TENANT":
+	case line == "STORED" || line == "DELETED" || line == "OK" || line == "TENANT" || line == "TOUCHED":
 		return true, nil
-	case line == "NOT_FOUND" || line == "NOT_STORED":
+	case line == "NOT_FOUND" || line == "NOT_STORED" || line == "EXISTS":
 		return false, nil
 	case strings.HasPrefix(line, "ERROR") || strings.HasPrefix(line, "SERVER_ERROR") || strings.HasPrefix(line, "CLIENT_ERROR"):
 		return false, fmt.Errorf("protocol: server error: %s", line)

@@ -162,3 +162,110 @@ func TestParseResponseLine(t *testing.T) {
 		}
 	}
 }
+
+func TestReadCommandCas(t *testing.T) {
+	cmd, err := ReadCommand(reader("cas key 7 42 5 99\r\nhello\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Name != "cas" || cmd.Keys[0] != "key" || cmd.Flags != 7 || cmd.ExpTime != 42 || cmd.CAS != 99 {
+		t.Fatalf("parsed %+v", cmd)
+	}
+	if string(cmd.Data) != "hello" || cmd.NoReply {
+		t.Fatalf("data = %q noreply=%v", cmd.Data, cmd.NoReply)
+	}
+	cmd, err = ReadCommand(reader("cas key 0 0 2 7 noreply\r\nhi\r\n"))
+	if err != nil || !cmd.NoReply || cmd.CAS != 7 {
+		t.Fatalf("cas noreply: %+v %v", cmd, err)
+	}
+}
+
+func TestReadCommandAppendPrependVerbs(t *testing.T) {
+	for _, verb := range []string{"add", "replace", "append", "prepend"} {
+		cmd, err := ReadCommand(reader(verb + " k 1 2 3\r\nabc\r\n"))
+		if err != nil {
+			t.Fatalf("%s: %v", verb, err)
+		}
+		if cmd.Name != verb || string(cmd.Data) != "abc" || cmd.Flags != 1 || cmd.ExpTime != 2 {
+			t.Fatalf("%s parsed %+v", verb, cmd)
+		}
+	}
+}
+
+func TestReadCommandTouchIncrDecr(t *testing.T) {
+	cmd, err := ReadCommand(reader("touch k 300\r\n"))
+	if err != nil || cmd.Name != "touch" || cmd.Keys[0] != "k" || cmd.ExpTime != 300 {
+		t.Fatalf("touch: %+v %v", cmd, err)
+	}
+	cmd, err = ReadCommand(reader("touch k 0 noreply\r\n"))
+	if err != nil || !cmd.NoReply {
+		t.Fatalf("touch noreply: %+v %v", cmd, err)
+	}
+	cmd, err = ReadCommand(reader("incr k 5\r\n"))
+	if err != nil || cmd.Name != "incr" || cmd.Delta != 5 {
+		t.Fatalf("incr: %+v %v", cmd, err)
+	}
+	cmd, err = ReadCommand(reader("decr k 18446744073709551615 noreply\r\n"))
+	if err != nil || cmd.Name != "decr" || cmd.Delta != 1<<64-1 || !cmd.NoReply {
+		t.Fatalf("decr: %+v %v", cmd, err)
+	}
+}
+
+func TestReadCommandNewVerbsMalformed(t *testing.T) {
+	cases := []string{
+		"cas k 0 0 5\r\nhello\r\n",     // cas without token
+		"cas k 0 0 5 abc\r\nhello\r\n", // non-numeric token
+		"touch k\r\n",                  // touch without exptime
+		"touch k abc\r\n",              // bad exptime
+		"incr k\r\n",                   // incr without delta
+		"incr k -3\r\n",                // negative delta
+		"decr k x\r\n",                 // non-numeric delta
+		"append k 0 0\r\n",             // too few args
+	}
+	for _, in := range cases {
+		if _, err := ReadCommand(reader(in)); err == nil {
+			t.Errorf("ReadCommand(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseResponseLineNewTokens(t *testing.T) {
+	if ok, err := ParseResponseLine("TOUCHED"); !ok || err != nil {
+		t.Fatalf("TOUCHED = %v %v", ok, err)
+	}
+	if ok, err := ParseResponseLine("EXISTS"); ok || err != nil {
+		t.Fatalf("EXISTS should be negative without error: %v %v", ok, err)
+	}
+}
+
+// TestReadCommandMalformedStorageConsumesPayload pins the anti-smuggling
+// behavior: a storage command whose header is malformed after the size field
+// still consumes its announced data block, so payload bytes are never parsed
+// as subsequent commands.
+func TestReadCommandMalformedStorageConsumesPayload(t *testing.T) {
+	r := reader("cas k 0 0 11 abc\r\nflush_all!!\r\nversion\r\n")
+	if _, err := ReadCommand(r); err == nil {
+		t.Fatalf("bad cas token should error")
+	}
+	cmd, err := ReadCommand(r)
+	if err != nil || cmd.Name != "version" {
+		t.Fatalf("payload leaked into the command stream: %+v %v", cmd, err)
+	}
+	// Same for a bad-flags set header.
+	r = reader("set k nope 0 9\r\nflush_all\r\ndelete x\r\n")
+	if _, err := ReadCommand(r); err == nil {
+		t.Fatalf("bad flags should error")
+	}
+	cmd, err = ReadCommand(r)
+	if err != nil || cmd.Name != "delete" {
+		t.Fatalf("payload leaked into the command stream: %+v %v", cmd, err)
+	}
+	// A cas missing its token entirely also swallows the block.
+	r = reader("cas k 0 0 7\r\npayload\r\nversion\r\n")
+	if _, err := ReadCommand(r); err == nil {
+		t.Fatalf("missing cas token should error")
+	}
+	if cmd, err = ReadCommand(r); err != nil || cmd.Name != "version" {
+		t.Fatalf("payload leaked into the command stream: %+v %v", cmd, err)
+	}
+}

@@ -190,8 +190,12 @@ func (s *Server) handle(w *bufio.Writer, cmd *protocol.Command, tenant *string) 
 		return protocol.WriteLine(w, "TENANT")
 	case "get", "gets":
 		return s.handleGet(w, cmd, *tenant)
-	case "set", "add", "replace":
+	case "set", "add", "replace", "append", "prepend", "cas":
 		return s.handleSet(w, cmd, *tenant)
+	case "touch":
+		return s.handleTouch(w, cmd, *tenant)
+	case "incr", "decr":
+		return s.handleIncrDecr(w, cmd, *tenant)
 	case "delete":
 		return s.handleDelete(w, cmd, *tenant)
 	case "stats":
@@ -213,32 +217,55 @@ func (s *Server) handleGet(w *bufio.Writer, cmd *protocol.Command, tenant string
 	withCAS := cmd.Name == "gets"
 	for _, key := range cmd.Keys {
 		stop := timeOp(s.GetLatency)
-		if withCAS {
-			data, cas, ok, err := s.store.GetWithCAS(tenant, key)
-			stop()
-			if err != nil {
-				return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
-			}
-			if ok {
-				values = append(values, protocol.Value{Key: key, Data: data, CAS: cas})
-			}
-			continue
-		}
-		data, ok, err := s.store.Get(tenant, key)
+		it, ok, err := s.store.GetItem(tenant, key)
 		stop()
 		if err != nil {
 			return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
 		}
 		if ok {
-			values = append(values, protocol.Value{Key: key, Data: data})
+			values = append(values, protocol.Value{Key: key, Flags: it.Flags, CAS: it.CAS, Data: it.Value})
 		}
 	}
 	return protocol.WriteValues(w, values, withCAS)
 }
 
 func (s *Server) handleSet(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
+	key := cmd.Keys[0]
 	stop := timeOp(s.SetLatency)
-	err := s.store.Set(tenant, cmd.Keys[0], cmd.Data)
+	var (
+		stored bool
+		err    error
+	)
+	switch cmd.Name {
+	case "set":
+		err = s.store.SetItem(tenant, key, cmd.Data, cmd.Flags, cmd.ExpTime)
+		stored = err == nil
+	case "add":
+		stored, err = s.store.Add(tenant, key, cmd.Data, cmd.Flags, cmd.ExpTime)
+	case "replace":
+		stored, err = s.store.Replace(tenant, key, cmd.Data, cmd.Flags, cmd.ExpTime)
+	case "append":
+		stored, err = s.store.Append(tenant, key, cmd.Data)
+	case "prepend":
+		stored, err = s.store.Prepend(tenant, key, cmd.Data)
+	case "cas":
+		res, cerr := s.store.CompareAndSwap(tenant, key, cmd.Data, cmd.Flags, cmd.ExpTime, cmd.CAS)
+		stop()
+		if cmd.NoReply {
+			return nil
+		}
+		if cerr != nil {
+			return protocol.WriteLine(w, "SERVER_ERROR "+cerr.Error())
+		}
+		switch res {
+		case store.CASStored:
+			return protocol.WriteLine(w, "STORED")
+		case store.CASExists:
+			return protocol.WriteLine(w, "EXISTS")
+		default:
+			return protocol.WriteLine(w, "NOT_FOUND")
+		}
+	}
 	stop()
 	if cmd.NoReply {
 		return nil
@@ -246,7 +273,54 @@ func (s *Server) handleSet(w *bufio.Writer, cmd *protocol.Command, tenant string
 	if err != nil {
 		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
 	}
+	if !stored {
+		return protocol.WriteLine(w, "NOT_STORED")
+	}
 	return protocol.WriteLine(w, "STORED")
+}
+
+func (s *Server) handleTouch(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
+	stop := timeOp(s.SetLatency)
+	found, err := s.store.Touch(tenant, cmd.Keys[0], cmd.ExpTime)
+	stop()
+	if cmd.NoReply {
+		return nil
+	}
+	if err != nil {
+		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+	}
+	if !found {
+		return protocol.WriteLine(w, "NOT_FOUND")
+	}
+	return protocol.WriteLine(w, "TOUCHED")
+}
+
+func (s *Server) handleIncrDecr(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
+	var (
+		val   uint64
+		found bool
+		err   error
+	)
+	stop := timeOp(s.SetLatency)
+	if cmd.Name == "incr" {
+		val, found, err = s.store.Incr(tenant, cmd.Keys[0], cmd.Delta)
+	} else {
+		val, found, err = s.store.Decr(tenant, cmd.Keys[0], cmd.Delta)
+	}
+	stop()
+	if cmd.NoReply {
+		return nil
+	}
+	if errors.Is(err, store.ErrNotNumeric) {
+		return protocol.WriteLine(w, "CLIENT_ERROR cannot increment or decrement non-numeric value")
+	}
+	if err != nil {
+		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+	}
+	if !found {
+		return protocol.WriteLine(w, "NOT_FOUND")
+	}
+	return protocol.WriteLine(w, strconv.FormatUint(val, 10))
 }
 
 func (s *Server) handleDelete(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
@@ -268,7 +342,7 @@ func (s *Server) handleStats(w *bufio.Writer, tenant string) error {
 	if err != nil {
 		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
 	}
-	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "ops_per_sec"}
+	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec"}
 	stats := map[string]string{
 		"tenant":      tenant,
 		"cmd_get":     strconv.FormatInt(st.Requests, 10),
@@ -276,6 +350,9 @@ func (s *Server) handleStats(w *bufio.Writer, tenant string) error {
 		"get_misses":  strconv.FormatInt(st.Misses, 10),
 		"hit_rate":    fmt.Sprintf("%.4f", st.HitRate()),
 		"cmd_set":     strconv.FormatInt(st.Sets, 10),
+		"cmd_touch":   strconv.FormatInt(st.Touches, 10),
+		"touch_hits":  strconv.FormatInt(st.TouchHits, 10),
+		"expired":     strconv.FormatInt(st.Expired, 10),
 		"ops_per_sec": fmt.Sprintf("%.0f", s.Ops.Rate()),
 	}
 	for _, c := range st.Classes {

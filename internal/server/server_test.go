@@ -1,9 +1,13 @@
 package server
 
 import (
+	"bufio"
 	"fmt"
+	"net"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -283,5 +287,235 @@ func BenchmarkServerPipelined(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestServerAddReplaceSemantics pins the memcached semantics of add and
+// replace (formerly silent aliases of set): add fails on existing keys,
+// replace fails on missing ones.
+func TestServerAddReplaceSemantics(t *testing.T) {
+	srv, _ := startTestServer(t, store.AllocDefault)
+	c := dialTest(t, srv)
+
+	if stored, err := c.Add("k", []byte("v1"), 0, 0); err != nil || !stored {
+		t.Fatalf("add of fresh key = %v %v", stored, err)
+	}
+	if stored, err := c.Add("k", []byte("v2"), 0, 0); err != nil || stored {
+		t.Fatalf("add of existing key must return NOT_STORED: %v %v", stored, err)
+	}
+	if v, _, _ := c.Get("k"); string(v) != "v1" {
+		t.Fatalf("failed add clobbered value: %q", v)
+	}
+	if stored, err := c.Replace("missing", []byte("x"), 0, 0); err != nil || stored {
+		t.Fatalf("replace of missing key must return NOT_STORED: %v %v", stored, err)
+	}
+	if stored, err := c.Replace("k", []byte("v3"), 0, 0); err != nil || !stored {
+		t.Fatalf("replace of existing key = %v %v", stored, err)
+	}
+	if v, _, _ := c.Get("k"); string(v) != "v3" {
+		t.Fatalf("replace not applied: %q", v)
+	}
+}
+
+// TestServerFlagsRoundTrip pins the fix for GET always echoing flags as 0:
+// the flags stored by SET must come back on VALUE lines.
+func TestServerFlagsRoundTrip(t *testing.T) {
+	srv, _ := startTestServer(t, store.AllocDefault)
+	c := dialTest(t, srv)
+
+	if err := c.SetWithOptions("k", []byte("v"), 12345, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, flags, cas, ok, err := c.Gets("k")
+	if err != nil || !ok {
+		t.Fatalf("gets = %v %v", ok, err)
+	}
+	if string(data) != "v" || flags != 12345 || cas == 0 {
+		t.Fatalf("gets returned data=%q flags=%d cas=%d", data, flags, cas)
+	}
+}
+
+// TestServerProtocolConformance drives every supported verb over a raw TCP
+// socket and checks the exact response lines, memcached-style. CI runs this
+// test as its protocol-conformance gate.
+func TestServerProtocolConformance(t *testing.T) {
+	srv, _ := startTestServer(t, store.AllocDefault)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	send := func(s string) {
+		t.Helper()
+		if _, err := conn.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(want ...string) {
+		t.Helper()
+		for _, w := range want {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("reading response (want %q): %v", w, err)
+			}
+			if got := strings.TrimRight(line, "\r\n"); got != w {
+				t.Fatalf("response = %q, want %q", got, w)
+			}
+		}
+	}
+
+	// Storage verbs.
+	send("set k 5 0 5\r\nhello\r\n")
+	expect("STORED")
+	send("get k\r\n")
+	expect("VALUE k 5 5", "hello", "END")
+	send("add k 0 0 1\r\nx\r\n")
+	expect("NOT_STORED")
+	send("add fresh 0 0 1\r\nx\r\n")
+	expect("STORED")
+	send("replace ghost 0 0 1\r\nx\r\n")
+	expect("NOT_STORED")
+	send("replace k 6 0 3\r\nnew\r\n")
+	expect("STORED")
+
+	// append / prepend.
+	send("append ghost 0 0 1\r\n!\r\n")
+	expect("NOT_STORED")
+	send("append k 0 0 1\r\n!\r\n")
+	expect("STORED")
+	send("prepend k 0 0 1\r\n>\r\n")
+	expect("STORED")
+	send("get k\r\n")
+	expect("VALUE k 6 5", ">new!", "END")
+
+	// gets / cas.
+	send("gets k\r\n")
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(strings.TrimRight(line, "\r\n"))
+	if len(fields) != 5 || fields[0] != "VALUE" || fields[1] != "k" || fields[2] != "6" {
+		t.Fatalf("gets VALUE line = %q", line)
+	}
+	casTok := fields[4]
+	expect(">new!", "END")
+	send("cas k 0 0 3 " + casTok + "\r\ncc1\r\n")
+	expect("STORED")
+	send("cas k 0 0 3 " + casTok + "\r\ncc2\r\n")
+	expect("EXISTS")
+	send("cas ghost 0 0 1 1\r\nx\r\n")
+	expect("NOT_FOUND")
+	send("get k\r\n")
+	expect("VALUE k 0 3", "cc1", "END")
+
+	// touch.
+	send("touch k 100\r\n")
+	expect("TOUCHED")
+	send("touch ghost 100\r\n")
+	expect("NOT_FOUND")
+
+	// incr / decr.
+	send("set n 0 0 2\r\n10\r\n")
+	expect("STORED")
+	send("incr n 5\r\n")
+	expect("15")
+	send("decr n 100\r\n")
+	expect("0")
+	send("incr ghost 1\r\n")
+	expect("NOT_FOUND")
+	send("incr k 1\r\n")
+	expect("CLIENT_ERROR cannot increment or decrement non-numeric value")
+
+	// Expiry: a negative exptime is dead on arrival.
+	send("set dead 0 -1 1\r\nx\r\n")
+	expect("STORED")
+	send("get dead\r\n")
+	expect("END")
+
+	// delete, stats, flush_all, version, tenant.
+	send("delete k\r\n")
+	expect("DELETED")
+	send("delete k\r\n")
+	expect("NOT_FOUND")
+	send("tenant app2\r\n")
+	expect("TENANT")
+	send("flush_all\r\n")
+	expect("OK")
+	send("version\r\n")
+	line, err = r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "VERSION ") {
+		t.Fatalf("version = %q %v", line, err)
+	}
+	send("stats\r\n")
+	sawEnd := false
+	for i := 0; i < 64; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := strings.TrimRight(line, "\r\n")
+		if l == "END" {
+			sawEnd = true
+			break
+		}
+		if !strings.HasPrefix(l, "STAT ") {
+			t.Fatalf("stats line = %q", l)
+		}
+	}
+	if !sawEnd {
+		t.Fatalf("stats response not terminated by END")
+	}
+
+	// noreply storage writes produce no response.
+	send("set quiet 0 0 1 noreply\r\nq\r\nget quiet\r\n")
+	expect("VALUE quiet 0 1", "q", "END")
+
+	send("quit\r\n")
+}
+
+// TestServerExpiryEndToEnd checks that expired items are never served over
+// the wire: a short relative TTL set through the protocol stops being
+// returned after its deadline.
+func TestServerExpiryEndToEnd(t *testing.T) {
+	clock := time.Now().Unix()
+	var offset atomic.Int64
+	st := store.New(store.Config{
+		DefaultMode:   store.AllocDefault,
+		DefaultPolicy: cache.PolicyLRU,
+		Now:           func() int64 { return clock + offset.Load() },
+	})
+	if err := st.RegisterTenant("default", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Addr: "127.0.0.1:0", DefaultTenant: "default"}, st)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); st.Close() })
+	c := dialTest(t, srv)
+
+	if err := c.SetWithOptions("ttl", []byte("v"), 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("ttl"); !ok {
+		t.Fatalf("key should be live before its deadline")
+	}
+	offset.Store(30)
+	if _, ok, _ := c.Get("ttl"); ok {
+		t.Fatalf("expired key must not be returned")
+	}
+	// Touch can rescue a key before the deadline.
+	if err := c.SetWithOptions("t2", []byte("v"), 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Touch("t2", 600); err != nil || !ok {
+		t.Fatalf("touch = %v %v", ok, err)
+	}
+	offset.Store(90)
+	if _, ok, _ := c.Get("t2"); !ok {
+		t.Fatalf("touched key should outlive its original TTL")
 	}
 }

@@ -25,10 +25,12 @@ import (
 // per-event sequence stamps, so a settled engine has seen the same global
 // admission/eviction sequence a synchronous one would have; only the
 // inline-help path under overload applies a single shard's backlog slightly
-// ahead of other shards'. The one observable race is an eviction racing a
-// concurrent re-set of the victim key, which can leave the re-set key
-// structurally resident without a value for a short time (a spurious miss
-// that heals on the next set).
+// ahead of other shards'. An eviction replayed from an old event never
+// clobbers a value the client re-set in the meantime: each item record
+// remembers whether its own admission event is still pending, and dropVictim
+// spares such records (the upcoming re-admission re-establishes their
+// structural entry), so a settled engine holds exactly one value per
+// structural entry.
 //
 // Overload behaviour: lookup (GET) events are advisory — they feed hit/miss
 // counters and the shadow queues — and are shed once a shard's buffer hits
@@ -44,22 +46,34 @@ const (
 	// evLookup records a GET: hit/miss accounting plus shadow-queue and
 	// cliff-pointer updates. Advisory; may be shed under overload.
 	evLookup eventKind = iota
+	// evTouch records a touch: recency promotion accounted separately from
+	// GETs (cmd_touch/touch_hits). Advisory; may be shed under overload.
+	evTouch
 	// evAdmit records a SET: the key becomes resident and evictions may
 	// cascade. Structural; never dropped.
 	evAdmit
+	// evReAdmit records a SET of a key that already had a record charged at
+	// a different size: the stale entry is removed from its old class queue
+	// before the new admission (Tenant.ReAdmit). Structural; never dropped.
+	evReAdmit
 	// evRemove records a DELETE of a resident key. Structural; never
 	// dropped.
 	evRemove
+	// evExpire records the removal of a record whose TTL lapsed (lazy GET
+	// check or background reaper). Structural; never dropped.
+	evExpire
 )
 
 // event is one deferred bookkeeping operation. seq is a per-tenant arrival
 // stamp: sweeps merge the shard buffers back into arrival order so eviction
-// recency matches what a synchronous engine would have seen.
+// recency matches what a synchronous engine would have seen. oldSize carries
+// the previous charged size of a re-admitted key.
 type event struct {
-	kind eventKind
-	key  string
-	size int64
-	seq  uint64
+	kind    eventKind
+	key     string
+	size    int64
+	oldSize int64
+	seq     uint64
 }
 
 const (
@@ -74,6 +88,14 @@ const (
 	// low-rate tenants: the drain goroutine sweeps all shard buffers this
 	// often even without notifications.
 	sweepInterval = 10 * time.Millisecond
+	// reapShardsPerTick is how many value shards the background expiry
+	// reaper scans per drain tick; with 64 shards and a 10 ms tick a full
+	// pass over the tenant takes ~160 ms.
+	reapShardsPerTick = 4
+	// reapScanLimit bounds the records examined per shard per reap so a
+	// huge shard never stalls the drain goroutine; Go's randomized map
+	// iteration makes successive passes cover different subsets.
+	reapScanLimit = 512
 )
 
 // bookkeeper owns a tenant's structural state (the Tenant with its eviction
@@ -86,6 +108,10 @@ type bookkeeper struct {
 	tenant      *Tenant
 	entry       *tenantEntry
 	synchronous bool
+	// now supplies the expiry clock (unix seconds) for the reaper.
+	now func() int64
+	// reapCursor is the next shard index the incremental reaper will scan.
+	reapCursor int
 
 	// mu guards tenant. The drain goroutine, snapshot readers and inline
 	// appliers take it; in synchronous mode every request takes it.
@@ -105,8 +131,8 @@ type bookkeeper struct {
 	dropped atomic.Int64
 }
 
-func newBookkeeper(t *Tenant, e *tenantEntry, synchronous bool) *bookkeeper {
-	b := &bookkeeper{tenant: t, entry: e, synchronous: synchronous}
+func newBookkeeper(t *Tenant, e *tenantEntry, synchronous bool, now func() int64) *bookkeeper {
+	b := &bookkeeper{tenant: t, entry: e, synchronous: synchronous, now: now}
 	if !synchronous {
 		b.notify = make(chan struct{}, 1)
 		b.stop = make(chan struct{})
@@ -133,20 +159,22 @@ const (
 	actInline
 )
 
-// bufferLocked stamps ev and appends it to sh's buffer. The caller MUST hold
-// sh.mu and must be the same critical section that mutated the shard's
-// values — that is what makes per-key event order match per-key value order.
-// The returned action must be passed to finish after releasing sh.mu.
-func (b *bookkeeper) bufferLocked(sh *valueShard, ev event) recordAction {
+// bufferLocked stamps ev (writing the assigned sequence back through the
+// pointer so callers can tag the shard record they just wrote) and appends
+// it to sh's buffer. The caller MUST hold sh.mu and must be the same
+// critical section that mutated the shard's items — that is what makes
+// per-key event order match per-key value order. The returned action must be
+// passed to finish after releasing sh.mu.
+func (b *bookkeeper) bufferLocked(sh *valueShard, ev *event) recordAction {
 	if b.synchronous || b.closed.Load() {
 		return actInline
 	}
-	if ev.kind == evLookup && len(sh.pending) >= shardBufferHighWater {
+	if (ev.kind == evLookup || ev.kind == evTouch) && len(sh.pending) >= shardBufferHighWater {
 		b.dropped.Add(1)
 		return actNone
 	}
 	ev.seq = b.seq.Add(1)
-	sh.pending = append(sh.pending, ev)
+	sh.pending = append(sh.pending, *ev)
 	switch n := len(sh.pending); {
 	case n >= shardBufferHighWater:
 		// Structural backlog: help out inline rather than queue further.
@@ -186,29 +214,43 @@ func (b *bookkeeper) applyShard(sh *valueShard) {
 	sh.applyMu.Unlock()
 }
 
-// applyEvents replays events against the tenant and drops the values of any
-// keys the tenant evicted. Victim values are dropped after releasing bk.mu,
-// so the lock order is always bk.mu before shard.mu.
+// applyEvents replays events against the tenant, marking each admission as
+// applied on its shard record and dropping the values of any keys the tenant
+// evicted. Marks and drops are interleaved with the replay (all of it
+// serialized by bk.mu), so "is this record's admission still pending?" — the
+// criterion dropVictim uses to spare values that a later re-set wrote — is
+// evaluated in exact replay order. Shard locks are only ever taken inside
+// bk.mu, never the other way around, so the lock order is always bk.mu
+// before shard.mu.
 func (b *bookkeeper) applyEvents(batch []event) {
 	if len(batch) == 0 {
 		return
 	}
-	var victims []cache.Victim
 	b.mu.Lock()
 	for _, ev := range batch {
+		var evicted []cache.Victim
 		switch ev.kind {
 		case evLookup:
 			b.tenant.Lookup(ev.key, ev.size)
+		case evTouch:
+			b.tenant.Touch(ev.key, ev.size)
 		case evAdmit:
-			victims = append(victims, b.tenant.Admit(ev.key, ev.size)...)
+			evicted = b.tenant.Admit(ev.key, ev.size)
+		case evReAdmit:
+			evicted = b.tenant.ReAdmit(ev.key, ev.oldSize, ev.size)
 		case evRemove:
 			b.tenant.Delete(ev.key, ev.size)
+		case evExpire:
+			b.tenant.Expire(ev.key, ev.size)
+		}
+		if ev.kind == evAdmit || ev.kind == evReAdmit {
+			b.entry.markAdmitted(ev.key, ev.seq)
+		}
+		for _, v := range evicted {
+			b.entry.dropVictim(v.Key)
 		}
 	}
 	b.mu.Unlock()
-	for _, v := range victims {
-		b.entry.dropValue(v.Key)
-	}
 }
 
 // drainLoop sweeps the shard buffers when nudged by producers and on a
@@ -225,7 +267,41 @@ func (b *bookkeeper) drainLoop() {
 		case <-b.notify:
 			b.sweep()
 		case <-ticker.C:
+			b.reap()
 			b.sweep()
+		}
+	}
+}
+
+// reap is the incremental background expiry pass: each drain tick it scans
+// the next few value shards, drops records whose TTL lapsed, and buffers an
+// expiry event for each so the structural removal replays in arrival order
+// with the shard's other pending events. Synchronous stores have no drain
+// goroutine and rely on the lazy expiry check on the read path alone.
+func (b *bookkeeper) reap() {
+	now := b.now()
+	shards := b.entry.shards
+	for n := 0; n < reapShardsPerTick && n < len(shards); n++ {
+		sh := &shards[b.reapCursor]
+		b.reapCursor = (b.reapCursor + 1) % len(shards)
+		var evs []event
+		var acts []recordAction
+		sh.mu.Lock()
+		scanned := 0
+		for key, it := range sh.items {
+			if it.expiredAt(now) {
+				delete(sh.items, key)
+				ev := event{kind: evExpire, key: key, size: it.size}
+				acts = append(acts, b.bufferLocked(sh, &ev))
+				evs = append(evs, ev)
+			}
+			if scanned++; scanned >= reapScanLimit {
+				break
+			}
+		}
+		sh.mu.Unlock()
+		for i := range evs {
+			b.finish(sh, evs[i], acts[i])
 		}
 	}
 }

@@ -1,10 +1,13 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cliffhanger/internal/cache"
 	"cliffhanger/internal/core"
@@ -31,6 +34,9 @@ type Config struct {
 	// mode is deterministic and is what tests and the simulator semantics
 	// are defined against; asynchronous mode (the default) is faster.
 	SyncBookkeeping bool
+	// Now supplies the expiry clock in unix seconds; nil uses time.Now.
+	// Tests stub it to drive TTL expiry deterministically.
+	Now func() int64
 }
 
 // defaultValueShards is the per-tenant lock stripe count: enough that a
@@ -53,14 +59,42 @@ type Store struct {
 	closed  bool
 }
 
-// valueShard is one stripe of a tenant's value table plus its bookkeeping
+// item is one entry of the per-shard metadata directory: the value plus the
+// bookkeeping facts the protocol verbs need — the flags SET stored, the CAS
+// token of the last mutation, the charged size the admission was accounted
+// under (so GET and DELETE never recompute it), and the expiry deadline.
+type item struct {
+	value []byte
+	flags uint32
+	cas   uint64
+	// size is the charged size, len(key)+len(value) at the last mutation;
+	// it is the size every structural event for the key is emitted with.
+	size int64
+	// expires is the expiry deadline in unix seconds; 0 means never.
+	// Negative deadlines (exptime < 0 on the wire) are already expired.
+	expires int64
+	// seq is the bookkeeping sequence of the record's last mutation (0 with
+	// synchronous bookkeeping) and pendingAdmit is true while that
+	// mutation's admission event has not been replayed yet. Eviction replay
+	// spares records with a pending admission: the upcoming replay will
+	// re-establish their structural entry, so the newer value must survive
+	// (see markAdmitted and dropVictim).
+	seq          uint64
+	pendingAdmit bool
+}
+
+// expiredAt reports whether the record's TTL has lapsed at the given clock.
+func (it *item) expiredAt(now int64) bool {
+	return it.expires != 0 && now >= it.expires
+}
+
+// valueShard is one stripe of a tenant's item directory plus its bookkeeping
 // event buffer.
 type valueShard struct {
-	mu     sync.Mutex
-	values map[string][]byte
+	mu    sync.Mutex
+	items map[string]*item
 	// casCounter provides unique CAS tokens for the gets/cas protocol verbs.
 	casCounter uint64
-	cas        map[string]uint64
 
 	// pending buffers this shard's bookkeeping events (guarded by mu);
 	// applyMu makes stealing and replaying the buffer one atomic step so
@@ -82,13 +116,82 @@ func (e *tenantEntry) shardFor(key string) *valueShard {
 	return &e.shards[fnv1a64(key)&e.mask]
 }
 
-// dropValue removes key's value (used when the tenant evicts it).
+// dropValue removes key's item record (used when the tenant evicts it).
 func (e *tenantEntry) dropValue(key string) {
 	sh := e.shardFor(key)
 	sh.mu.Lock()
-	delete(sh.values, key)
-	delete(sh.cas, key)
+	delete(sh.items, key)
 	sh.mu.Unlock()
+}
+
+// dropVictim removes key's record on behalf of a structural eviction, unless
+// the record was written by a mutation whose admission event has not been
+// replayed yet — that pending re-admission will re-establish the entry, so
+// the newer value must survive.
+func (e *tenantEntry) dropVictim(key string) {
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	if it, ok := sh.items[key]; ok && !it.pendingAdmit {
+		delete(sh.items, key)
+	}
+	sh.mu.Unlock()
+}
+
+// markAdmitted records that the admission event stamped seq reached the
+// tenant. Only the record written by that same mutation is marked: if a
+// newer mutation owns the record its own admission is still pending.
+func (e *tenantEntry) markAdmitted(key string, seq uint64) {
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	if it := sh.items[key]; it != nil && it.seq == seq {
+		it.pendingAdmit = false
+	}
+	sh.mu.Unlock()
+}
+
+// setLocked installs a new record for key and returns the structural event
+// describing it: a plain admit for fresh keys, a re-admit carrying the old
+// charged size when a previous record existed at a different size (this is
+// how a cross-class re-set sheds its stale old-class entry). The caller must
+// hold sh.mu. prev may be an expired record: its structural entry is still
+// resident until an expiry or re-admit event removes it, so its size must be
+// accounted the same way a live one's is.
+func (e *tenantEntry) setLocked(sh *valueShard, key string, prev *item, value []byte, flags uint32, expires int64) event {
+	sh.casCounter++
+	it := &item{
+		value:   value,
+		flags:   flags,
+		cas:     sh.casCounter,
+		size:    int64(len(key) + len(value)),
+		expires: expires,
+	}
+	sh.items[key] = it
+	if prev != nil && prev.size != it.size {
+		return event{kind: evReAdmit, key: key, size: it.size, oldSize: prev.size}
+	}
+	return event{kind: evAdmit, key: key, size: it.size}
+}
+
+// expireLocked removes a dead record and returns its expiry event. The
+// caller must hold sh.mu.
+func expireLocked(sh *valueShard, key string, it *item) event {
+	delete(sh.items, key)
+	return event{kind: evExpire, key: key, size: it.size}
+}
+
+// bufferMutationLocked buffers a mutation event and stamps the freshly
+// written record with the assigned sequence so eviction replay can tell it
+// apart from the older record the event supersedes (see dropVictim). The
+// caller must hold sh.mu.
+func (e *tenantEntry) bufferMutationLocked(sh *valueShard, ev *event) recordAction {
+	act := e.bk.bufferLocked(sh, ev)
+	if it := sh.items[ev.key]; it != nil {
+		it.seq = ev.seq
+		// Inline applications (seq 0: synchronous or closed bookkeeping)
+		// are not deferred, so only buffered events count as pending.
+		it.pendingAdmit = ev.seq != 0
+	}
+	return act
 }
 
 // fnv1a64 is the FNV-1a hash used to stripe keys across value shards.
@@ -115,6 +218,9 @@ func New(cfg Config) *Store {
 	}
 	if cfg.ValueShards <= 0 {
 		cfg.ValueShards = defaultValueShards
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().Unix() }
 	}
 	s := &Store{cfg: cfg}
 	empty := make(map[string]*tenantEntry)
@@ -174,10 +280,9 @@ func (s *Store) RegisterTenantConfig(cfg TenantConfig) error {
 		mask:   uint64(n - 1),
 	}
 	for i := range e.shards {
-		e.shards[i].values = make(map[string][]byte)
-		e.shards[i].cas = make(map[string]uint64)
+		e.shards[i].items = make(map[string]*item)
 	}
-	e.bk = newBookkeeper(tenant, e, s.cfg.SyncBookkeeping)
+	e.bk = newBookkeeper(tenant, e, s.cfg.SyncBookkeeping, s.cfg.Now)
 	next := make(map[string]*tenantEntry, len(old)+1)
 	for k, v := range old {
 		next[k] = v
@@ -208,127 +313,426 @@ type ErrNoTenant struct{ Name string }
 
 func (e ErrNoTenant) Error() string { return fmt.Sprintf("store: unknown tenant %q", e.Name) }
 
-// Get returns the value stored under key for the tenant and whether it was
-// present.
-func (s *Store) Get(tenant, key string) ([]byte, bool, error) {
-	e, ok := s.entry(tenant)
-	if !ok {
-		return nil, false, ErrNoTenant{tenant}
-	}
-	sh := e.shardFor(key)
-	sh.mu.Lock()
-	val, present := sh.values[key]
-	// Drive the eviction/shadow structures with the same size the SET path
-	// admitted the item under (key+value), so the lookup lands on the slab
-	// class that actually holds the key. Buffered in the same critical
-	// section as the value read, so per-key event order matches value order.
-	ev := event{kind: evLookup, key: key, size: lookupSize(key, val, present)}
-	act := e.bk.bufferLocked(sh, ev)
-	sh.mu.Unlock()
-	e.bk.finish(sh, ev, act)
-	if !present {
-		return nil, false, nil
-	}
-	return val, true, nil
+// Item is the full record a read returns: the value plus the flags stored
+// with it and the CAS token of its last mutation.
+type Item struct {
+	Value []byte
+	Flags uint32
+	CAS   uint64
 }
 
-// lookupSize returns the accounting size for a GET: resident keys use the
-// same key+value size their admission was charged, absent keys fall back to
-// the key length (their class is unknowable).
-func lookupSize(key string, val []byte, present bool) int64 {
-	if !present {
-		return int64(len(key))
+// CASResult is the outcome of a CompareAndSwap.
+type CASResult int
+
+const (
+	// CASStored means the token matched and the value was replaced.
+	CASStored CASResult = iota
+	// CASExists means the item was modified since the gets that produced
+	// the token.
+	CASExists
+	// CASNotFound means the key does not exist (or has expired).
+	CASNotFound
+)
+
+// ErrNotNumeric is returned by Incr/Decr when the stored value is not an
+// unsigned decimal integer.
+var ErrNotNumeric = errors.New("store: cannot increment or decrement non-numeric value")
+
+// errTooLarge is the oversized-object error shared by every storage verb.
+func errTooLarge(key string, size int64) error {
+	return fmt.Errorf("store: object %q of %d bytes exceeds the largest slab class", key, size)
+}
+
+// maxRelativeExpiry is the memcached cutoff between relative and absolute
+// exptime values: up to 30 days the number is seconds from now, above that
+// it is an absolute unix timestamp.
+const maxRelativeExpiry = 60 * 60 * 24 * 30
+
+// deadline converts a wire exptime into an absolute unix-seconds deadline:
+// 0 never expires, negative values are already expired, small values are
+// relative to now, large values are absolute timestamps.
+func (s *Store) deadline(exptime int64) int64 {
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime < 0:
+		return -1
+	case exptime <= maxRelativeExpiry:
+		return s.cfg.Now() + exptime
+	default:
+		return exptime
 	}
-	return int64(len(key) + len(val))
+}
+
+// liveLocked returns key's record if present and unexpired. A dead record is
+// removed and its expiry event appended to evs/acts; the caller must hold
+// sh.mu, and after unlocking must pass every appended event to bk.finish.
+// The clock is only consulted for records that can expire at all.
+func (s *Store) liveLocked(e *tenantEntry, sh *valueShard, key string, evs *[]event, acts *[]recordAction) *item {
+	it := sh.items[key]
+	if it == nil {
+		return nil
+	}
+	if it.expires == 0 || !it.expiredAt(s.cfg.Now()) {
+		return it
+	}
+	ev := expireLocked(sh, key, it)
+	*acts = append(*acts, e.bk.bufferLocked(sh, &ev))
+	*evs = append(*evs, ev)
+	return nil
+}
+
+// finishAll completes buffered events after the shard lock is released.
+func finishAll(e *tenantEntry, sh *valueShard, evs []event, acts []recordAction) {
+	for i := range evs {
+		e.bk.finish(sh, evs[i], acts[i])
+	}
+}
+
+// Get returns the value stored under key for the tenant and whether it was
+// present (and unexpired).
+func (s *Store) Get(tenant, key string) ([]byte, bool, error) {
+	it, ok, err := s.GetItem(tenant, key)
+	return it.Value, ok, err
 }
 
 // GetWithCAS returns the value and a CAS token for the gets verb.
 func (s *Store) GetWithCAS(tenant, key string) ([]byte, uint64, bool, error) {
+	it, ok, err := s.GetItem(tenant, key)
+	return it.Value, it.CAS, ok, err
+}
+
+// GetItem returns the full item record — value, flags, CAS token — stored
+// under key, lazily expiring it if its TTL lapsed. The common case (no dead
+// record to shed) stays on a scalar fast path: one stack-allocated lookup
+// event and, for never-expiring records, no clock read under the shard lock.
+func (s *Store) GetItem(tenant, key string) (Item, bool, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
-		return nil, 0, false, ErrNoTenant{tenant}
+		return Item{}, false, ErrNoTenant{tenant}
 	}
 	sh := e.shardFor(key)
 	sh.mu.Lock()
-	val, present := sh.values[key]
-	cas := sh.cas[key]
-	ev := event{kind: evLookup, key: key, size: lookupSize(key, val, present)}
-	act := e.bk.bufferLocked(sh, ev)
+	it := sh.items[key]
+	if it != nil && it.expires != 0 && it.expiredAt(s.cfg.Now()) {
+		// Slow path: shed the dead record, then account the miss.
+		exp := expireLocked(sh, key, it)
+		expAct := e.bk.bufferLocked(sh, &exp)
+		ev := event{kind: evLookup, key: key, size: lookupSize(key, nil)}
+		act := e.bk.bufferLocked(sh, &ev)
+		sh.mu.Unlock()
+		e.bk.finish(sh, exp, expAct)
+		e.bk.finish(sh, ev, act)
+		return Item{}, false, nil
+	}
+	// Drive the eviction/shadow structures with the charged size recorded
+	// at admission, so the lookup lands on the slab class that actually
+	// holds the key. Buffered in the same critical section as the record
+	// read, so per-key event order matches value order.
+	ev := event{kind: evLookup, key: key, size: lookupSize(key, it)}
+	act := e.bk.bufferLocked(sh, &ev)
+	var out Item
+	if it != nil {
+		out = Item{Value: it.value, Flags: it.flags, CAS: it.cas}
+	}
 	sh.mu.Unlock()
 	e.bk.finish(sh, ev, act)
-	if !present {
-		return nil, 0, false, nil
+	return out, it != nil, nil
+}
+
+// lookupSize returns the accounting size for a GET: resident keys use the
+// charged size their admission was accounted under, absent keys fall back to
+// the key length (their class is unknowable).
+func lookupSize(key string, it *item) int64 {
+	if it == nil {
+		return int64(len(key))
 	}
-	return val, cas, true, nil
+	return it.size
 }
 
 // Set stores value under key for the tenant, evicting older entries as
-// needed. Values too large for any slab class are rejected.
+// needed. Values too large for any slab class are rejected. Equivalent to
+// SetItem with zero flags and no expiry.
+func (s *Store) Set(tenant, key string, value []byte) error {
+	return s.SetItem(tenant, key, value, 0, 0)
+}
+
+// SetItem stores value under key with the given flags and exptime (memcached
+// semantics: 0 never expires, <= 30 days is relative seconds, larger is an
+// absolute unix timestamp, negative is immediately expired).
 //
 // With asynchronous bookkeeping the admission is settled off the request
 // path: in the rare case that the key does not fit its tenant at all, the
 // value is dropped shortly after the call instead of producing an error.
-func (s *Store) Set(tenant, key string, value []byte) error {
+func (s *Store) SetItem(tenant, key string, value []byte, flags uint32, exptime int64) error {
 	e, ok := s.entry(tenant)
 	if !ok {
 		return ErrNoTenant{tenant}
 	}
 	size := int64(len(key) + len(value))
 	if _, fits := e.tenant.ClassFor(size); !fits {
-		return fmt.Errorf("store: object %q of %d bytes exceeds the largest slab class", key, size)
+		return errTooLarge(key, size)
 	}
+	expires := s.deadline(exptime)
 	sh := e.shardFor(key)
 	sh.mu.Lock()
-	sh.values[key] = value
-	sh.casCounter++
-	sh.cas[key] = sh.casCounter
+	// The previous record is consulted even if expired: its structural
+	// entry is still resident, so the re-admit below must shed it.
+	ev := e.setLocked(sh, key, sh.items[key], value, flags, expires)
 	if !e.bk.synchronous {
-		ev := event{kind: evAdmit, key: key, size: size}
-		act := e.bk.bufferLocked(sh, ev)
+		act := e.bufferMutationLocked(sh, &ev)
 		sh.mu.Unlock()
 		e.bk.finish(sh, ev, act)
 		return nil
 	}
 	sh.mu.Unlock()
+	return e.admitSync(tenant, ev)
+}
 
+// admitSync applies an admit/re-admit event inline (synchronous bookkeeping)
+// and reports the does-not-fit error asynchronous mode can only log.
+func (e *tenantEntry) admitSync(tenant string, ev event) error {
 	e.bk.mu.Lock()
-	victims := e.tenant.Admit(key, size)
+	var victims []cache.Victim
+	if ev.kind == evReAdmit {
+		victims = e.tenant.ReAdmit(ev.key, ev.oldSize, ev.size)
+	} else {
+		victims = e.tenant.Admit(ev.key, ev.size)
+	}
 	e.bk.mu.Unlock()
 	admitted := true
 	for _, v := range victims {
-		if v.Key == key {
+		if v.Key == ev.key {
 			admitted = false
 			continue
 		}
 		e.dropValue(v.Key)
 	}
 	if !admitted {
-		e.dropValue(key)
-		return fmt.Errorf("store: object %q does not fit in tenant %q", key, tenant)
+		e.dropValue(ev.key)
+		return fmt.Errorf("store: object %q does not fit in tenant %q", ev.key, tenant)
 	}
 	return nil
 }
 
-// Delete removes key from the tenant, reporting whether it was present.
+// storeMutation finishes a mutation that produced a new record: the event is
+// buffered (async) or applied inline (sync). The caller must hold sh.mu with
+// evs/acts holding any expiry events already buffered in the same critical
+// section; storeMutation unlocks sh.mu.
+func (s *Store) storeMutation(e *tenantEntry, sh *valueShard, tenant string, ev event, evs []event, acts []recordAction) error {
+	if !e.bk.synchronous {
+		acts = append(acts, e.bufferMutationLocked(sh, &ev))
+		evs = append(evs, ev)
+		sh.mu.Unlock()
+		finishAll(e, sh, evs, acts)
+		return nil
+	}
+	sh.mu.Unlock()
+	finishAll(e, sh, evs, acts)
+	return e.admitSync(tenant, ev)
+}
+
+// mutate is the shared locked read-modify-write path of Add, Replace,
+// Append, Prepend, CompareAndSwap, Incr and Decr: decide receives the live
+// record (nil when the key is absent or just expired) and returns the new
+// value, flags and expiry, or store=false to leave the record untouched.
+// mutate reports whether a new record was stored.
+func (s *Store) mutate(tenant, key string, decide func(live *item) (value []byte, flags uint32, expires int64, store bool, err error)) (bool, error) {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return false, ErrNoTenant{tenant}
+	}
+	sh := e.shardFor(key)
+	var (
+		evs  []event
+		acts []recordAction
+	)
+	sh.mu.Lock()
+	it := s.liveLocked(e, sh, key, &evs, &acts)
+	value, flags, expires, doStore, err := decide(it)
+	if err != nil || !doStore {
+		sh.mu.Unlock()
+		finishAll(e, sh, evs, acts)
+		return false, err
+	}
+	if _, fits := e.tenant.ClassFor(int64(len(key) + len(value))); !fits {
+		sh.mu.Unlock()
+		finishAll(e, sh, evs, acts)
+		return false, errTooLarge(key, int64(len(key)+len(value)))
+	}
+	// A record liveLocked shed is already structurally re-admitted via its
+	// expiry event plus this fresh admit; a surviving one is re-admitted
+	// with its old charge attached.
+	ev := e.setLocked(sh, key, it, value, flags, expires)
+	if err := s.storeMutation(e, sh, tenant, ev, evs, acts); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Add stores value only if key is absent (or expired), per the memcached add
+// verb. It reports whether the value was stored.
+func (s *Store) Add(tenant, key string, value []byte, flags uint32, exptime int64) (bool, error) {
+	return s.mutate(tenant, key, func(live *item) ([]byte, uint32, int64, bool, error) {
+		if live != nil {
+			return nil, 0, 0, false, nil
+		}
+		return value, flags, s.deadline(exptime), true, nil
+	})
+}
+
+// Replace stores value only if key is already present and unexpired, per the
+// memcached replace verb. It reports whether the value was stored.
+func (s *Store) Replace(tenant, key string, value []byte, flags uint32, exptime int64) (bool, error) {
+	return s.mutate(tenant, key, func(live *item) ([]byte, uint32, int64, bool, error) {
+		if live == nil {
+			return nil, 0, 0, false, nil
+		}
+		return value, flags, s.deadline(exptime), true, nil
+	})
+}
+
+// Append appends suffix to key's existing value, keeping its flags and
+// expiry. It reports whether the key existed.
+func (s *Store) Append(tenant, key string, suffix []byte) (bool, error) {
+	return s.concat(tenant, key, suffix, false)
+}
+
+// Prepend prepends prefix to key's existing value, keeping its flags and
+// expiry. It reports whether the key existed.
+func (s *Store) Prepend(tenant, key string, prefix []byte) (bool, error) {
+	return s.concat(tenant, key, prefix, true)
+}
+
+func (s *Store) concat(tenant, key string, extra []byte, front bool) (bool, error) {
+	return s.mutate(tenant, key, func(live *item) ([]byte, uint32, int64, bool, error) {
+		if live == nil {
+			return nil, 0, 0, false, nil
+		}
+		nv := make([]byte, 0, len(live.value)+len(extra))
+		if front {
+			nv = append(append(nv, extra...), live.value...)
+		} else {
+			nv = append(append(nv, live.value...), extra...)
+		}
+		return nv, live.flags, live.expires, true, nil
+	})
+}
+
+// CompareAndSwap stores value only if key's record still carries the given
+// CAS token (from a previous gets), per the memcached cas verb.
+func (s *Store) CompareAndSwap(tenant, key string, value []byte, flags uint32, exptime int64, cas uint64) (CASResult, error) {
+	res := CASNotFound
+	_, err := s.mutate(tenant, key, func(live *item) ([]byte, uint32, int64, bool, error) {
+		switch {
+		case live == nil:
+			return nil, 0, 0, false, nil
+		case live.cas != cas:
+			res = CASExists
+			return nil, 0, 0, false, nil
+		}
+		res = CASStored
+		return value, flags, s.deadline(exptime), true, nil
+	})
+	if err != nil {
+		return CASNotFound, err
+	}
+	return res, nil
+}
+
+// Touch updates key's expiry deadline without touching the value, promoting
+// it like a GET. It reports whether the key existed.
+func (s *Store) Touch(tenant, key string, exptime int64) (bool, error) {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return false, ErrNoTenant{tenant}
+	}
+	expires := s.deadline(exptime)
+	sh := e.shardFor(key)
+	var (
+		evs  []event
+		acts []recordAction
+	)
+	sh.mu.Lock()
+	it := s.liveLocked(e, sh, key, &evs, &acts)
+	if it != nil {
+		it.expires = expires
+	}
+	// A touch refreshes recency in the eviction queues but is accounted
+	// into its own counters (cmd_touch/touch_hits), never the GET hit rate.
+	ev := event{kind: evTouch, key: key, size: lookupSize(key, it)}
+	acts = append(acts, e.bk.bufferLocked(sh, &ev))
+	evs = append(evs, ev)
+	sh.mu.Unlock()
+	finishAll(e, sh, evs, acts)
+	return it != nil, nil
+}
+
+// Incr adds delta to the decimal unsigned integer stored under key,
+// returning the new value. It reports whether the key existed;
+// ErrNotNumeric is returned for non-numeric values.
+func (s *Store) Incr(tenant, key string, delta uint64) (uint64, bool, error) {
+	return s.incrDecr(tenant, key, delta, false)
+}
+
+// Decr subtracts delta from the decimal unsigned integer stored under key,
+// clamping at zero per the memcached decr verb.
+func (s *Store) Decr(tenant, key string, delta uint64) (uint64, bool, error) {
+	return s.incrDecr(tenant, key, delta, true)
+}
+
+func (s *Store) incrDecr(tenant, key string, delta uint64, negative bool) (uint64, bool, error) {
+	var (
+		result uint64
+		found  bool
+	)
+	_, err := s.mutate(tenant, key, func(live *item) ([]byte, uint32, int64, bool, error) {
+		if live == nil {
+			return nil, 0, 0, false, nil
+		}
+		found = true
+		cur, perr := strconv.ParseUint(string(live.value), 10, 64)
+		if perr != nil {
+			return nil, 0, 0, false, ErrNotNumeric
+		}
+		if negative {
+			if delta > cur {
+				cur = 0
+			} else {
+				cur -= delta
+			}
+		} else {
+			cur += delta // wraps at 2^64 like memcached
+		}
+		result = cur
+		return strconv.AppendUint(nil, cur, 10), live.flags, live.expires, true, nil
+	})
+	return result, found, err
+}
+
+// Delete removes key from the tenant, reporting whether it was present (an
+// expired record is reaped and reported as absent).
 func (s *Store) Delete(tenant, key string) (bool, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
 		return false, ErrNoTenant{tenant}
 	}
 	sh := e.shardFor(key)
+	var (
+		evs  []event
+		acts []recordAction
+	)
 	sh.mu.Lock()
-	val, present := sh.values[key]
-	if !present {
-		sh.mu.Unlock()
-		return false, nil
+	it := s.liveLocked(e, sh, key, &evs, &acts)
+	if it != nil {
+		delete(sh.items, key)
+		ev := event{kind: evRemove, key: key, size: it.size}
+		acts = append(acts, e.bk.bufferLocked(sh, &ev))
+		evs = append(evs, ev)
 	}
-	delete(sh.values, key)
-	delete(sh.cas, key)
-	ev := event{kind: evRemove, key: key, size: int64(len(key) + len(val))}
-	act := e.bk.bufferLocked(sh, ev)
 	sh.mu.Unlock()
-	e.bk.finish(sh, ev, act)
-	return true, nil
+	finishAll(e, sh, evs, acts)
+	return it != nil, nil
 }
 
 // FlushTenant removes every entry of the tenant.
@@ -344,11 +748,10 @@ func (s *Store) FlushTenant(tenant string) error {
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.Lock()
-		for k, v := range sh.values {
-			evs = append(evs, event{kind: evRemove, key: k, size: int64(len(k) + len(v))})
+		for k, it := range sh.items {
+			evs = append(evs, event{kind: evRemove, key: k, size: it.size})
 		}
-		sh.values = make(map[string][]byte)
-		sh.cas = make(map[string]uint64)
+		sh.items = make(map[string]*item)
 		sh.mu.Unlock()
 	}
 	e.bk.mu.Lock()
@@ -426,7 +829,9 @@ func (s *Store) ClassCapacities(tenant string) (map[int]int64, error) {
 	return e.tenant.ClassCapacities(), nil
 }
 
-// Items reports the number of values the tenant currently holds.
+// Items reports the number of item records the tenant currently holds.
+// Expired records that neither a read nor the reaper has shed yet are still
+// counted.
 func (s *Store) Items(tenant string) (int, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
@@ -437,7 +842,7 @@ func (s *Store) Items(tenant string) (int, error) {
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.Lock()
-		n += len(sh.values)
+		n += len(sh.items)
 		sh.mu.Unlock()
 	}
 	return n, nil

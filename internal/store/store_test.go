@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"cliffhanger/internal/cache"
 	"cliffhanger/internal/core"
@@ -436,16 +438,15 @@ func TestStoreValueConsistencyWithQueues(t *testing.T) {
 				for i := range e.shards {
 					sh := &e.shards[i]
 					sh.mu.Lock()
-					for key, val := range sh.values {
-						held = append(held, kv{key, int64(len(key) + len(val))})
+					for key, it := range sh.items {
+						held = append(held, kv{key, it.size})
 					}
 					sh.mu.Unlock()
 				}
 				e.bk.mu.Lock()
 				defer e.bk.mu.Unlock()
 				// Every stored value's key must still be resident in some
-				// queue, and the queues must not track more items than the
-				// store holds values for (no leaked structural entries).
+				// queue.
 				missing := 0
 				for _, h := range held {
 					if !e.tenant.Lookup(h.key, h.size) {
@@ -455,16 +456,14 @@ func TestStoreValueConsistencyWithQueues(t *testing.T) {
 				if missing > 0 {
 					t.Fatalf("%d stored values are not resident in the tenant queues", missing)
 				}
-				// The queues may track somewhat more items than the store
-				// holds values for: re-setting a key at a different size
-				// leaves a stale entry in its old class queue until eviction
-				// ages it out (longstanding Tenant behaviour), but the gap
-				// must stay bounded — queues never track fewer items.
+				// With the item directory emitting re-admit events, a re-set
+				// key never leaves a stale entry in its old class queue, so
+				// settled queues track exactly one entry per held value.
 				items := 0
 				for _, n := range e.tenant.classItems() {
 					items += n
 				}
-				if items < len(held) {
+				if items != len(held) {
 					t.Fatalf("queues track %d items but store holds %d values", items, len(held))
 				}
 			})
@@ -650,5 +649,408 @@ func benchmarkStore(b *testing.B, mode AllocationMode) {
 		} else {
 			s.Get("app", k)
 		}
+	}
+}
+
+// TestStoreCrossClassReSet is the regression test for the stale-entry bug:
+// re-setting a key at a size that maps to a different slab class must leave
+// exactly one structural entry, charge UsedBytes for the new class only, and
+// free everything on delete — in both bookkeeping modes and all layouts.
+func TestStoreCrossClassReSet(t *testing.T) {
+	for _, syncBk := range []bool{true, false} {
+		for _, mode := range []AllocationMode{AllocDefault, AllocCliffhanger, AllocGlobalLRU} {
+			t.Run(fmt.Sprintf("%s/sync=%v", mode, syncBk), func(t *testing.T) {
+				s := New(Config{DefaultMode: mode, DefaultPolicy: cache.PolicyLRU, SyncBookkeeping: syncBk})
+				defer s.Close()
+				if err := s.RegisterTenant("app", 4<<20); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Set("app", "k", make([]byte, 64)); err != nil {
+					t.Fatal(err)
+				}
+				// 4 KiB maps to the 8 KiB chunk class, which a cold
+				// Cliffhanger queue can admit without growing first.
+				large := make([]byte, 4<<10)
+				if err := s.Set("app", "k", large); err != nil {
+					t.Fatal(err)
+				}
+				s.Flush()
+				e, _ := s.entry("app")
+				size := int64(len("k") + len(large))
+				class, _ := e.tenant.ClassFor(size)
+				want := e.tenant.cost(class, size)
+				e.bk.mu.Lock()
+				items := 0
+				for _, n := range e.tenant.classItems() {
+					items += n
+				}
+				used := e.tenant.UsedBytes()
+				e.bk.mu.Unlock()
+				if items != 1 {
+					t.Fatalf("cross-class re-set left %d structural entries, want 1", items)
+				}
+				if used != want {
+					t.Fatalf("UsedBytes = %d, want the new charge %d", used, want)
+				}
+				if v, ok, _ := s.Get("app", "k"); !ok || len(v) != len(large) {
+					t.Fatalf("re-set value not readable: ok=%v len=%d", ok, len(v))
+				}
+				if deleted, _ := s.Delete("app", "k"); !deleted {
+					t.Fatalf("delete should find the key")
+				}
+				s.Flush()
+				if used, _ := s.UsedBytes("app"); used != 0 {
+					t.Fatalf("delete left %d used bytes", used)
+				}
+				if n, _ := s.Items("app"); n != 0 {
+					t.Fatalf("delete left %d items", n)
+				}
+			})
+		}
+	}
+}
+
+// TestStoreCrossClassReSetConcurrent hammers a small key set with re-sets
+// alternating between two slab classes from many goroutines (run under
+// -race in CI); once settled, the structural entries, the item records and
+// UsedBytes must agree exactly.
+func TestStoreCrossClassReSetConcurrent(t *testing.T) {
+	for _, syncBk := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sync=%v", syncBk), func(t *testing.T) {
+			s := New(Config{DefaultMode: AllocCliffhanger, DefaultPolicy: cache.PolicyLRU, SyncBookkeeping: syncBk})
+			defer s.Close()
+			if err := s.RegisterTenant("app", 16<<20); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(worker)))
+					for i := 0; i < 3000; i++ {
+						key := fmt.Sprintf("k%d", rng.Intn(200))
+						switch rng.Intn(4) {
+						case 0:
+							s.Set("app", key, make([]byte, 64))
+						case 1:
+							s.Set("app", key, make([]byte, 8<<10))
+						case 2:
+							s.Get("app", key)
+						default:
+							s.Delete("app", key)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			s.Flush()
+			e, _ := s.entry("app")
+			var (
+				held     int
+				wantUsed int64
+			)
+			for i := range e.shards {
+				sh := &e.shards[i]
+				sh.mu.Lock()
+				for _, it := range sh.items {
+					held++
+					class, _ := e.tenant.ClassFor(it.size)
+					wantUsed += e.tenant.cost(class, it.size)
+				}
+				sh.mu.Unlock()
+			}
+			e.bk.mu.Lock()
+			items := 0
+			for _, n := range e.tenant.classItems() {
+				items += n
+			}
+			used := e.tenant.UsedBytes()
+			e.bk.mu.Unlock()
+			if items != held {
+				t.Fatalf("queues track %d entries but store holds %d records", items, held)
+			}
+			if used != wantUsed {
+				t.Fatalf("UsedBytes = %d but live records charge %d", used, wantUsed)
+			}
+		})
+	}
+}
+
+// TestStoreExpiry covers the lazy TTL path: relative and absolute deadlines,
+// immediate expiry, touch extensions, and the expired counter — in both
+// bookkeeping modes, against a stubbed clock.
+func TestStoreExpiry(t *testing.T) {
+	for _, syncBk := range []bool{true, false} {
+		t.Run(fmt.Sprintf("sync=%v", syncBk), func(t *testing.T) {
+			var now atomic.Int64
+			now.Store(1_000_000)
+			s := New(Config{
+				DefaultMode:     AllocDefault,
+				DefaultPolicy:   cache.PolicyLRU,
+				SyncBookkeeping: syncBk,
+				Now:             func() int64 { return now.Load() },
+			})
+			defer s.Close()
+			if err := s.RegisterTenant("app", 4<<20); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetItem("app", "k", []byte("v"), 7, 50); err != nil {
+				t.Fatal(err)
+			}
+			it, ok, _ := s.GetItem("app", "k")
+			if !ok || it.Flags != 7 || string(it.Value) != "v" {
+				t.Fatalf("live item = %+v ok=%v", it, ok)
+			}
+			now.Add(49)
+			if _, ok, _ := s.Get("app", "k"); !ok {
+				t.Fatalf("item expired early")
+			}
+			now.Add(1)
+			if _, ok, _ := s.Get("app", "k"); ok {
+				t.Fatalf("item must expire at its deadline")
+			}
+			s.Flush()
+			if used, _ := s.UsedBytes("app"); used != 0 {
+				t.Fatalf("expiry left %d used bytes", used)
+			}
+			st, _ := s.Stats("app")
+			if st.Expired != 1 {
+				t.Fatalf("Expired = %d, want 1", st.Expired)
+			}
+			if st.Deletes != 0 {
+				t.Fatalf("expiry must not count as a delete: %d", st.Deletes)
+			}
+
+			// exptime 0 never expires; negative exptime is already dead.
+			if err := s.SetItem("app", "forever", []byte("v"), 0, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetItem("app", "dead", []byte("v"), 0, -1); err != nil {
+				t.Fatal(err)
+			}
+			now.Add(maxRelativeExpiry + 1)
+			if _, ok, _ := s.Get("app", "forever"); !ok {
+				t.Fatalf("exptime 0 must never expire")
+			}
+			if _, ok, _ := s.Get("app", "dead"); ok {
+				t.Fatalf("negative exptime must be dead on arrival")
+			}
+
+			// Large exptimes are absolute unix timestamps.
+			deadline := now.Load() + 100
+			if err := s.SetItem("app", "abs", []byte("v"), 0, deadline); err != nil {
+				t.Fatal(err)
+			}
+			now.Store(deadline - 1)
+			if _, ok, _ := s.Get("app", "abs"); !ok {
+				t.Fatalf("absolute deadline expired early")
+			}
+			now.Store(deadline)
+			if _, ok, _ := s.Get("app", "abs"); ok {
+				t.Fatalf("absolute deadline not honored")
+			}
+
+			// Touch extends a TTL and reports missing keys.
+			if err := s.SetItem("app", "t", []byte("v"), 0, 10); err != nil {
+				t.Fatal(err)
+			}
+			if found, _ := s.Touch("app", "t", 500); !found {
+				t.Fatalf("touch should find the key")
+			}
+			now.Add(100)
+			if _, ok, _ := s.Get("app", "t"); !ok {
+				t.Fatalf("touched key should outlive its original TTL")
+			}
+			if found, _ := s.Touch("app", "missing", 500); found {
+				t.Fatalf("touch of a missing key should report false")
+			}
+		})
+	}
+}
+
+// TestStoreExpiryReaper checks that the background reaper reclaims expired
+// items without any client access: the drain loop's incremental scan must
+// shed them within a few sweep intervals.
+func TestStoreExpiryReaper(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1_000_000)
+	s := New(Config{
+		DefaultMode:   AllocDefault,
+		DefaultPolicy: cache.PolicyLRU,
+		Now:           func() int64 { return now.Load() },
+	})
+	defer s.Close()
+	if err := s.RegisterTenant("app", 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := s.SetItem("app", fmt.Sprintf("k%d", i), []byte("v"), 0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	if n, _ := s.Items("app"); n != 500 {
+		t.Fatalf("expected 500 live items, got %d", n)
+	}
+	now.Add(11)
+	// Generous deadline: under -race on a loaded single-CPU box the drain
+	// goroutine's ticks (and with them the reaper passes) can be starved
+	// for whole seconds.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		n, _ := s.Items("app")
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper left %d expired items after 20s", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if used, _ := s.UsedBytes("app"); used != 0 {
+		t.Fatalf("reaper left %d used bytes", used)
+	}
+	st, _ := s.Stats("app")
+	if st.Expired != 500 {
+		t.Fatalf("Expired = %d, want 500", st.Expired)
+	}
+}
+
+// TestStoreVerbSemantics exercises the memcached storage-verb semantics at
+// the store layer with deterministic synchronous bookkeeping.
+func TestStoreVerbSemantics(t *testing.T) {
+	s := New(Config{DefaultMode: AllocDefault, DefaultPolicy: cache.PolicyLRU, SyncBookkeeping: true})
+	defer s.Close()
+	if err := s.RegisterTenant("app", 4<<20); err != nil {
+		t.Fatal(err)
+	}
+
+	// add: stored only when absent.
+	if stored, _ := s.Add("app", "a", []byte("1"), 0, 0); !stored {
+		t.Fatalf("add of fresh key should store")
+	}
+	if stored, _ := s.Add("app", "a", []byte("2"), 0, 0); stored {
+		t.Fatalf("add of existing key should not store")
+	}
+	if v, _, _ := s.Get("app", "a"); string(v) != "1" {
+		t.Fatalf("failed add clobbered the value: %q", v)
+	}
+
+	// replace: stored only when present.
+	if stored, _ := s.Replace("app", "missing", []byte("x"), 0, 0); stored {
+		t.Fatalf("replace of missing key should not store")
+	}
+	if stored, _ := s.Replace("app", "a", []byte("3"), 9, 0); !stored {
+		t.Fatalf("replace of existing key should store")
+	}
+	it, _, _ := s.GetItem("app", "a")
+	if string(it.Value) != "3" || it.Flags != 9 {
+		t.Fatalf("replace result = %+v", it)
+	}
+
+	// append/prepend: concatenate, keep flags, fail on missing keys.
+	if ok, _ := s.Append("app", "missing", []byte("x")); ok {
+		t.Fatalf("append to missing key should fail")
+	}
+	if ok, _ := s.Append("app", "a", []byte("-tail")); !ok {
+		t.Fatalf("append should succeed")
+	}
+	if ok, _ := s.Prepend("app", "a", []byte("head-")); !ok {
+		t.Fatalf("prepend should succeed")
+	}
+	it, _, _ = s.GetItem("app", "a")
+	if string(it.Value) != "head-3-tail" || it.Flags != 9 {
+		t.Fatalf("append/prepend result = %q flags=%d", it.Value, it.Flags)
+	}
+
+	// cas: stored with the current token, EXISTS after a mutation,
+	// NOT_FOUND for absent keys.
+	_, cas, _, _ := s.GetWithCAS("app", "a")
+	if res, _ := s.CompareAndSwap("app", "a", []byte("swapped"), 0, 0, cas); res != CASStored {
+		t.Fatalf("cas with current token = %v", res)
+	}
+	if res, _ := s.CompareAndSwap("app", "a", []byte("late"), 0, 0, cas); res != CASExists {
+		t.Fatalf("cas with stale token = %v", res)
+	}
+	if res, _ := s.CompareAndSwap("app", "missing", []byte("x"), 0, 0, 1); res != CASNotFound {
+		t.Fatalf("cas of missing key = %v", res)
+	}
+	if v, _, _ := s.Get("app", "a"); string(v) != "swapped" {
+		t.Fatalf("cas result = %q", v)
+	}
+
+	// incr/decr: uint64 arithmetic clamped at zero, NOT_FOUND on missing,
+	// ErrNotNumeric on garbage.
+	s.Set("app", "n", []byte("10"))
+	if v, found, err := s.Incr("app", "n", 5); err != nil || !found || v != 15 {
+		t.Fatalf("incr = %d %v %v", v, found, err)
+	}
+	if v, found, err := s.Decr("app", "n", 100); err != nil || !found || v != 0 {
+		t.Fatalf("decr should clamp at zero: %d %v %v", v, found, err)
+	}
+	if _, found, _ := s.Incr("app", "missing", 1); found {
+		t.Fatalf("incr of missing key should report not found")
+	}
+	if _, _, err := s.Incr("app", "a", 1); err != ErrNotNumeric {
+		t.Fatalf("incr of non-numeric value = %v", err)
+	}
+
+	// touch accounting is separate from the GET hit rate.
+	before, _ := s.Stats("app")
+	if found, _ := s.Touch("app", "n", 0); !found {
+		t.Fatalf("touch should find the key")
+	}
+	if found, _ := s.Touch("app", "missing", 0); found {
+		t.Fatalf("touch of missing key should report false")
+	}
+	after, _ := s.Stats("app")
+	if after.Requests != before.Requests {
+		t.Fatalf("touch must not count into GET requests: %d -> %d", before.Requests, after.Requests)
+	}
+	if after.Touches != before.Touches+2 || after.TouchHits != before.TouchHits+1 {
+		t.Fatalf("touch counters = %d/%d, want %d/%d", after.Touches, after.TouchHits, before.Touches+2, before.TouchHits+1)
+	}
+}
+
+// TestTenantSelfBounceNotCountedAsEviction pins the fix for classEvict: an
+// item too big for its queue bounces back as its own victim and must not
+// count as an eviction.
+func TestTenantSelfBounceNotCountedAsEviction(t *testing.T) {
+	geom := slab.DefaultGeometry()
+	bigClass, _ := geom.ClassFor(16 << 10)
+	cfg := testConfig(AllocStatic, 4)
+	// Give the big class a budget below one chunk so every admission
+	// bounces.
+	cfg.StaticClassBytes = map[int]int64{bigClass: 1}
+	tenant, err := NewTenant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := tenant.Admit("big", 16<<10)
+	if len(victims) != 1 || victims[0].Key != "big" {
+		t.Fatalf("expected a self-bounce, got %v", victims)
+	}
+	for _, c := range tenant.Stats().Classes {
+		if c.Evictions != 0 {
+			t.Fatalf("self-bounce counted as eviction in class %d: %+v", c.Class, c)
+		}
+	}
+	// A real eviction of a neighbor still counts.
+	small := testConfig(AllocStatic, 4)
+	smallClass, _ := geom.ClassFor(64)
+	small.StaticClassBytes = map[int]int64{smallClass: geom.ChunkSize(smallClass)}
+	tenant2, err := NewTenant(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenant2.Admit("one", 64)
+	tenant2.Admit("two", 64)
+	var evictions int64
+	for _, c := range tenant2.Stats().Classes {
+		evictions += c.Evictions
+	}
+	if evictions != 1 {
+		t.Fatalf("evicting a neighbor should count once, got %d", evictions)
 	}
 }

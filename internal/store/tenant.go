@@ -124,7 +124,15 @@ type TenantStats struct {
 	Misses   int64
 	Sets     int64
 	Deletes  int64
-	Classes  []ClassStats
+	// Expired counts structural removals driven by TTL expiry (lazy GET
+	// checks and the background reaper), kept separate from client Deletes.
+	Expired int64
+	// Touches and TouchHits account the touch verb separately (memcached's
+	// cmd_touch/touch_hits), so TTL refreshes never pollute the GET hit
+	// rate the hill climber and the stats consumers read.
+	Touches   int64
+	TouchHits int64
+	Classes   []ClassStats
 }
 
 // HitRate returns hits / (hits + misses).
@@ -150,8 +158,9 @@ type Tenant struct {
 	manager *core.Manager
 
 	// Counters.
-	requests, hits, misses, sets, deletes     int64
-	classReq, classHit, classMiss, classEvict []int64
+	requests, hits, misses, sets, deletes, expired int64
+	touches, touchHits                             int64
+	classReq, classHit, classMiss, classEvict      []int64
 }
 
 // NewTenant builds a tenant from cfg.
@@ -303,8 +312,79 @@ func (t *Tenant) Admit(key string, size int64) []cache.Victim {
 		t.growIfNeeded(class, q, cost)
 		_, victims = q.Access(key, cost)
 	}
-	t.classEvict[class] += int64(len(victims))
+	t.classEvict[class] += evictedOthers(key, victims)
 	return victims
+}
+
+// ReAdmit performs the SET path for a key that already has a resident entry
+// charged at oldSize: when the new size maps to a different class (or to a
+// different cost, as under the exact-size global-LRU accounting) the stale
+// entry is removed from its old queue first, so a re-set key never occupies
+// two queues or double-charges UsedBytes. The removal is not counted as a
+// delete.
+func (t *Tenant) ReAdmit(key string, oldSize, newSize int64) []cache.Victim {
+	oldClass, okOld := t.ClassFor(oldSize)
+	newClass, okNew := t.ClassFor(newSize)
+	if okOld && (!okNew || oldClass != newClass || t.cost(oldClass, oldSize) != t.cost(newClass, newSize)) {
+		t.removeFrom(oldClass, key)
+	}
+	return t.Admit(key, newSize)
+}
+
+// Touch promotes key like a GET without the hit/miss accounting: touches
+// count into their own counters (memcached's cmd_touch/touch_hits), so TTL
+// refreshes do not skew the GET hit rate.
+func (t *Tenant) Touch(key string, size int64) bool {
+	class, ok := t.ClassFor(size)
+	if !ok {
+		return false
+	}
+	t.touches++
+	hit := false
+	if t.manager != nil {
+		if t.manager.Contains(classQueueID(class), key) {
+			out, _ := t.manager.Access(classQueueID(class), key, t.cost(class, size))
+			hit = out.Hit
+		}
+	} else {
+		q := t.queueFor(class)
+		if q.Contains(key) {
+			hit, _ = q.Access(key, t.cost(class, size))
+		}
+	}
+	if hit {
+		t.touchHits++
+	}
+	return hit
+}
+
+// Expire removes key's structural entry after its TTL lapsed. Unlike Delete
+// it counts an expiration, not a client delete — and only when an entry was
+// actually removed, so an expiry event racing an eviction replay of the same
+// key is not double-counted.
+func (t *Tenant) Expire(key string, size int64) bool {
+	class, ok := t.ClassFor(size)
+	if !ok {
+		return false
+	}
+	if !t.removeFrom(class, key) {
+		return false
+	}
+	t.expired++
+	return true
+}
+
+// evictedOthers counts victims other than the admitted key itself: an item
+// too big for its queue bounces back as its own victim, which is a rejected
+// admission rather than an eviction.
+func evictedOthers(key string, victims []cache.Victim) int64 {
+	var n int64
+	for _, v := range victims {
+		if v.Key != key {
+			n++
+		}
+	}
+	return n
 }
 
 // Access performs the demand-fill GET used by the trace-driven simulator: a
@@ -340,7 +420,7 @@ func (t *Tenant) Access(key string, size int64) (bool, []cache.Victim) {
 		t.misses++
 		t.classMiss[class]++
 	}
-	t.classEvict[class] += int64(len(victims))
+	t.classEvict[class] += evictedOthers(key, victims)
 	return hit, victims
 }
 
@@ -351,6 +431,12 @@ func (t *Tenant) Delete(key string, size int64) bool {
 		return false
 	}
 	t.deletes++
+	return t.removeFrom(class, key)
+}
+
+// removeFrom drops key's structural entry from the given class queue without
+// touching any counter.
+func (t *Tenant) removeFrom(class int, key string) bool {
 	if t.manager != nil {
 		return t.manager.Remove(classQueueID(class), key)
 	}
@@ -437,12 +523,15 @@ func (t *Tenant) UsedBytes() int64 {
 // Stats returns a snapshot of the tenant's counters.
 func (t *Tenant) Stats() TenantStats {
 	st := TenantStats{
-		Name:     t.cfg.Name,
-		Requests: t.requests,
-		Hits:     t.hits,
-		Misses:   t.misses,
-		Sets:     t.sets,
-		Deletes:  t.deletes,
+		Name:      t.cfg.Name,
+		Requests:  t.requests,
+		Hits:      t.hits,
+		Misses:    t.misses,
+		Sets:      t.sets,
+		Deletes:   t.deletes,
+		Expired:   t.expired,
+		Touches:   t.touches,
+		TouchHits: t.touchHits,
 	}
 	caps := t.ClassCapacities()
 	items := t.classItems()
