@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bins conformance clean
+.PHONY: build test race vet fmt bench bins conformance alloccheck fuzz clean
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,22 @@ fmt:
 conformance:
 	$(GO) test -count=1 -run TestServerProtocolConformance -v ./internal/server/
 
+# alloccheck runs the testing.AllocsPerRun gates that pin the hot-path
+# allocation floors (GET hit = 0 through protocol+server+store; GET miss = 1;
+# SET = value copy + item record). An accidental allocation fails the build,
+# not a future benchmark run.
+alloccheck:
+	$(GO) test -count=1 -run 'TestAllocGate' -v ./internal/server/ ./internal/store/
+
+# fuzz gives each protocol fuzz target a short budget; CI runs the seed
+# corpus via plain `go test`.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParser$$ -fuzztime=20s ./internal/protocol/
+	$(GO) test -run=NONE -fuzz=FuzzParserPipelineSync -fuzztime=20s ./internal/protocol/
+
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkStoreGetSet -benchmem ./internal/store/
-	$(GO) test -run=NONE -bench=BenchmarkServerPipelined ./internal/server/
+	$(GO) test -run=NONE -bench=BenchmarkServerPipelined -benchmem ./internal/server/
 
 bins:
 	$(GO) build -o bin/cliffhangerd ./cmd/cliffhangerd

@@ -154,7 +154,11 @@ func main() {
 	}
 	fmt.Printf("ops=%d ops/s=%.0f hit_rate=%.4f fills=%d mutations=%d\n",
 		total, float64(total)/elapsed.Seconds(), hitRate, fills.Load(), mutations.Load())
-	fmt.Printf("latency per round trip: %s\n", lat.String())
+	// Client-side tail latency per round trip (a pipelined batch counts as
+	// one round trip), so perf changes report their tail, not just
+	// throughput.
+	fmt.Printf("latency per round trip: n=%d mean=%v p50=%v p95=%v p99=%v\n",
+		lat.Count(), lat.Mean(), lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99))
 }
 
 // runMutation issues one mutation verb against key: a TTL refresh (touch), a

@@ -5,11 +5,18 @@
 // pipelined batches (PipelineGet, PipelineSet) that amortize one flush over
 // many commands, and is safe for use by one goroutine per Client (the load
 // generator opens one Client per worker connection).
+//
+// The hot paths share the protocol package's allocation discipline: commands
+// are assembled with strconv appends into a per-client scratch buffer and
+// VALUE response headers are parsed in place with protocol.ParseValueLine,
+// so the per-operation garbage is the returned data slice (owned by the
+// caller) rather than a pile of intermediate strings and field slices.
 package client
 
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -23,6 +30,11 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// scratch assembles outgoing command lines (reused across calls).
+	scratch []byte
+	// keybuf holds the key of the VALUE block being read: the parsed key
+	// aliases the read buffer, which the payload read then overwrites.
+	keybuf []byte
 }
 
 // Dial connects to addr with the given timeout (0 means no timeout).
@@ -73,7 +85,7 @@ func (c *Client) Set(key string, value []byte) error {
 // (memcached semantics: 0 never expires, <= 30 days is relative seconds,
 // larger is an absolute unix timestamp).
 func (c *Client) SetWithOptions(key string, value []byte, flags uint32, exptime int64) error {
-	ok, line, err := c.storage("set", key, value, flags, exptime, 0)
+	ok, line, err := c.storage("set", key, value, flags, exptime, 0, false)
 	if err != nil {
 		return err
 	}
@@ -85,28 +97,28 @@ func (c *Client) SetWithOptions(key string, value []byte, flags uint32, exptime 
 
 // Add stores value only if key is absent, reporting whether it was stored.
 func (c *Client) Add(key string, value []byte, flags uint32, exptime int64) (bool, error) {
-	ok, _, err := c.storage("add", key, value, flags, exptime, 0)
+	ok, _, err := c.storage("add", key, value, flags, exptime, 0, false)
 	return ok, err
 }
 
 // Replace stores value only if key is present, reporting whether it was
 // stored.
 func (c *Client) Replace(key string, value []byte, flags uint32, exptime int64) (bool, error) {
-	ok, _, err := c.storage("replace", key, value, flags, exptime, 0)
+	ok, _, err := c.storage("replace", key, value, flags, exptime, 0, false)
 	return ok, err
 }
 
 // Append appends value to key's existing value, reporting whether the key
 // existed.
 func (c *Client) Append(key string, value []byte) (bool, error) {
-	ok, _, err := c.storage("append", key, value, 0, 0, 0)
+	ok, _, err := c.storage("append", key, value, 0, 0, 0, false)
 	return ok, err
 }
 
 // Prepend prepends value to key's existing value, reporting whether the key
 // existed.
 func (c *Client) Prepend(key string, value []byte) (bool, error) {
-	ok, _, err := c.storage("prepend", key, value, 0, 0, 0)
+	ok, _, err := c.storage("prepend", key, value, 0, 0, 0, false)
 	return ok, err
 }
 
@@ -126,7 +138,7 @@ const (
 // Cas stores value under key only if the item still carries the CAS token a
 // previous Gets returned.
 func (c *Client) Cas(key string, value []byte, flags uint32, exptime int64, cas uint64) (CasStatus, error) {
-	_, line, err := c.storage("cas", key, value, flags, exptime, cas)
+	_, line, err := c.storage("cas", key, value, flags, exptime, cas, true)
 	if err != nil {
 		return CasNotFound, err
 	}
@@ -140,22 +152,39 @@ func (c *Client) Cas(key string, value []byte, flags uint32, exptime int64, cas 
 	}
 }
 
+// appendStorageHeader appends "<verb> <key> <flags> <exptime> <bytes>
+// [<cas>]\r\n" to dst.
+func appendStorageHeader(dst []byte, verb, key string, flags uint32, exptime int64, size int, cas uint64, withCAS bool) []byte {
+	dst = append(dst, verb...)
+	dst = append(dst, ' ')
+	dst = append(dst, key...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(flags), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, exptime, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(size), 10)
+	if withCAS {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, cas, 10)
+	}
+	return append(dst, '\r', '\n')
+}
+
 // storage runs one storage verb round trip and reports the positive/negative
 // outcome plus the raw response line.
-func (c *Client) storage(verb, key string, value []byte, flags uint32, exptime int64, cas uint64) (bool, string, error) {
-	if verb == "cas" {
-		if _, err := fmt.Fprintf(c.w, "cas %s %d %d %d %d\r\n", key, flags, exptime, len(value), cas); err != nil {
-			return false, "", err
-		}
-	} else {
-		if _, err := fmt.Fprintf(c.w, "%s %s %d %d %d\r\n", verb, key, flags, exptime, len(value)); err != nil {
-			return false, "", err
-		}
+func (c *Client) storage(verb, key string, value []byte, flags uint32, exptime int64, cas uint64, withCAS bool) (bool, string, error) {
+	c.scratch = appendStorageHeader(c.scratch[:0], verb, key, flags, exptime, len(value), cas, withCAS)
+	if _, err := c.w.Write(c.scratch); err != nil {
+		return false, "", err
 	}
 	if _, err := c.w.Write(value); err != nil {
 		return false, "", err
 	}
-	if err := c.writeLine(""); err != nil {
+	if _, err := c.w.WriteString("\r\n"); err != nil {
+		return false, "", err
+	}
+	if err := c.w.Flush(); err != nil {
 		return false, "", err
 	}
 	line, err := c.readLine()
@@ -169,7 +198,15 @@ func (c *Client) storage(verb, key string, value []byte, flags uint32, exptime i
 // Touch updates key's expiry without fetching the value, reporting whether
 // the key existed.
 func (c *Client) Touch(key string, exptime int64) (bool, error) {
-	if err := c.writeLine(fmt.Sprintf("touch %s %d", key, exptime)); err != nil {
+	c.scratch = append(c.scratch[:0], "touch "...)
+	c.scratch = append(c.scratch, key...)
+	c.scratch = append(c.scratch, ' ')
+	c.scratch = strconv.AppendInt(c.scratch, exptime, 10)
+	c.scratch = append(c.scratch, '\r', '\n')
+	if _, err := c.w.Write(c.scratch); err != nil {
+		return false, err
+	}
+	if err := c.w.Flush(); err != nil {
 		return false, err
 	}
 	line, err := c.readLine()
@@ -191,7 +228,16 @@ func (c *Client) Decr(key string, delta uint64) (uint64, bool, error) {
 }
 
 func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, bool, error) {
-	if err := c.writeLine(fmt.Sprintf("%s %s %d", verb, key, delta)); err != nil {
+	c.scratch = append(c.scratch[:0], verb...)
+	c.scratch = append(c.scratch, ' ')
+	c.scratch = append(c.scratch, key...)
+	c.scratch = append(c.scratch, ' ')
+	c.scratch = strconv.AppendUint(c.scratch, delta, 10)
+	c.scratch = append(c.scratch, '\r', '\n')
+	if _, err := c.w.Write(c.scratch); err != nil {
+		return 0, false, err
+	}
+	if err := c.w.Flush(); err != nil {
 		return 0, false, err
 	}
 	line, err := c.readLine()
@@ -213,33 +259,44 @@ func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, bool, error) 
 
 // Gets fetches key along with its flags and CAS token.
 func (c *Client) Gets(key string) (data []byte, flags uint32, cas uint64, ok bool, err error) {
-	if err := c.writeLine("gets " + key); err != nil {
+	if err := c.writeGet("gets", key); err != nil {
 		return nil, 0, 0, false, err
 	}
-	values, err := c.readValueItems()
-	if err != nil {
-		return nil, 0, 0, false, err
+	for {
+		k, f, cs, d, done, err := c.nextValue()
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		if done {
+			return data, flags, cas, ok, nil
+		}
+		if string(k) == key {
+			data, flags, cas, ok = d, f, cs, true
+		}
 	}
-	v, ok := values[key]
-	if !ok {
-		return nil, 0, 0, false, nil
-	}
-	return v.Data, v.Flags, v.CAS, true, nil
 }
 
 // Get fetches key, reporting whether it was present.
 func (c *Client) Get(key string) ([]byte, bool, error) {
-	if err := c.writeLine("get " + key); err != nil {
+	if err := c.writeGet("get", key); err != nil {
 		return nil, false, err
 	}
-	values, err := c.readValues()
-	if err != nil {
-		return nil, false, err
+	var (
+		data  []byte
+		found bool
+	)
+	for {
+		k, _, _, d, done, err := c.nextValue()
+		if err != nil {
+			return nil, false, err
+		}
+		if done {
+			return data, found, nil
+		}
+		if string(k) == key {
+			data, found = d, true
+		}
 	}
-	if v, ok := values[key]; ok {
-		return v, true, nil
-	}
-	return nil, false, nil
 }
 
 // GetMulti fetches several keys in one round trip.
@@ -247,10 +304,23 @@ func (c *Client) GetMulti(keys []string) (map[string][]byte, error) {
 	if len(keys) == 0 {
 		return map[string][]byte{}, nil
 	}
-	if err := c.writeLine("get " + strings.Join(keys, " ")); err != nil {
+	c.scratch = append(c.scratch[:0], "get"...)
+	for _, key := range keys {
+		c.scratch = append(c.scratch, ' ')
+		c.scratch = append(c.scratch, key...)
+	}
+	c.scratch = append(c.scratch, '\r', '\n')
+	if _, err := c.w.Write(c.scratch); err != nil {
 		return nil, err
 	}
-	return c.readValues()
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(keys))
+	if err := c.readValuesInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // PipelineSet stores value under every key with a single batch write and a
@@ -264,7 +334,8 @@ func (c *Client) PipelineSet(keys []string, value []byte) error {
 // PipelineSetOptions is PipelineSet with explicit flags and exptime.
 func (c *Client) PipelineSetOptions(keys []string, value []byte, flags uint32, exptime int64) error {
 	for _, key := range keys {
-		if _, err := fmt.Fprintf(c.w, "set %s %d %d %d\r\n", key, flags, exptime, len(value)); err != nil {
+		c.scratch = appendStorageHeader(c.scratch[:0], "set", key, flags, exptime, len(value), 0, false)
+		if _, err := c.w.Write(c.scratch); err != nil {
 			return err
 		}
 		if _, err := c.w.Write(value); err != nil {
@@ -298,7 +369,10 @@ func (c *Client) PipelineSetOptions(keys []string, value []byte, flags uint32, e
 // returned map.
 func (c *Client) PipelineGet(keys []string) (map[string][]byte, error) {
 	for _, key := range keys {
-		if _, err := c.w.WriteString("get " + key + "\r\n"); err != nil {
+		c.scratch = append(c.scratch[:0], "get "...)
+		c.scratch = append(c.scratch, key...)
+		c.scratch = append(c.scratch, '\r', '\n')
+		if _, err := c.w.Write(c.scratch); err != nil {
 			return nil, err
 		}
 	}
@@ -307,12 +381,8 @@ func (c *Client) PipelineGet(keys []string) (map[string][]byte, error) {
 	}
 	out := make(map[string][]byte, len(keys))
 	for range keys {
-		values, err := c.readValues()
-		if err != nil {
+		if err := c.readValuesInto(out); err != nil {
 			return nil, err
-		}
-		for k, v := range values {
-			out[k] = v
 		}
 	}
 	return out, nil
@@ -320,7 +390,13 @@ func (c *Client) PipelineGet(keys []string) (map[string][]byte, error) {
 
 // Delete removes key, reporting whether it existed.
 func (c *Client) Delete(key string) (bool, error) {
-	if err := c.writeLine("delete " + key); err != nil {
+	c.scratch = append(c.scratch[:0], "delete "...)
+	c.scratch = append(c.scratch, key...)
+	c.scratch = append(c.scratch, '\r', '\n')
+	if _, err := c.w.Write(c.scratch); err != nil {
+		return false, err
+	}
+	if err := c.w.Flush(); err != nil {
 		return false, err
 	}
 	line, err := c.readLine()
@@ -380,81 +456,91 @@ func (c *Client) Version() (string, error) {
 	return strings.TrimPrefix(line, "VERSION "), nil
 }
 
+// writeGet writes "<verb> <key>\r\n" and flushes.
+func (c *Client) writeGet(verb, key string) error {
+	c.scratch = append(c.scratch[:0], verb...)
+	c.scratch = append(c.scratch, ' ')
+	c.scratch = append(c.scratch, key...)
+	c.scratch = append(c.scratch, '\r', '\n')
+	if _, err := c.w.Write(c.scratch); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
 func (c *Client) writeLine(line string) error {
-	if _, err := c.w.WriteString(line + "\r\n"); err != nil {
+	if _, err := c.w.WriteString(line); err != nil {
+		return err
+	}
+	if _, err := c.w.WriteString("\r\n"); err != nil {
 		return err
 	}
 	return c.w.Flush()
 }
 
 func (c *Client) readLine() (string, error) {
-	line, err := c.r.ReadString('\n')
+	line, err := c.readLineBytes()
 	if err != nil {
 		return "", err
 	}
-	return strings.TrimRight(line, "\r\n"), nil
+	return string(line), nil
 }
 
-// readValues parses the VALUE blocks of a get response until END, keeping
-// only the data.
-func (c *Client) readValues() (map[string][]byte, error) {
-	items, err := c.readValueItems()
+// readLineBytes returns the next response line without its terminator as a
+// slice into the read buffer, valid until the next read.
+func (c *Client) readLineBytes() ([]byte, error) {
+	line, err := c.r.ReadSlice('\n')
 	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, fmt.Errorf("client: response line too long")
+		}
 		return nil, err
 	}
-	out := make(map[string][]byte, len(items))
-	for k, v := range items {
-		out[k] = v.Data
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
 	}
-	return out, nil
+	return line, nil
 }
 
-// readValueItems parses the VALUE blocks of a get/gets response until END,
-// including flags and (for gets) the CAS token.
-func (c *Client) readValueItems() (map[string]protocol.Value, error) {
-	out := make(map[string]protocol.Value)
+// nextValue reads one VALUE block of a get/gets response, or its END
+// terminator (done=true). The returned key is valid until the next read on
+// the connection; data is freshly allocated and owned by the caller.
+func (c *Client) nextValue() (key []byte, flags uint32, cas uint64, data []byte, done bool, err error) {
+	line, err := c.readLineBytes()
+	if err != nil {
+		return nil, 0, 0, nil, false, err
+	}
+	if len(line) == 3 && line[0] == 'E' && line[1] == 'N' && line[2] == 'D' {
+		return nil, 0, 0, nil, true, nil
+	}
+	k, flags, size, cas, _, err := protocol.ParseValueLine(line)
+	if err != nil {
+		return nil, 0, 0, nil, false, err
+	}
+	// The key aliases the read buffer, which the payload read overwrites.
+	c.keybuf = append(c.keybuf[:0], k...)
+	data = make([]byte, size)
+	if _, err := io.ReadFull(c.r, data); err != nil {
+		return nil, 0, 0, nil, false, err
+	}
+	if _, err := c.r.Discard(2); err != nil { // trailing CRLF
+		return nil, 0, 0, nil, false, err
+	}
+	return c.keybuf, flags, cas, data, false, nil
+}
+
+// readValuesInto parses the VALUE blocks of one get response until END,
+// adding each to out.
+func (c *Client) readValuesInto(out map[string][]byte) error {
 	for {
-		line, err := c.readLine()
+		key, _, _, data, done, err := c.nextValue()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if line == "END" {
-			return out, nil
+		if done {
+			return nil
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 || fields[0] != "VALUE" {
-			return nil, fmt.Errorf("client: unexpected get response %q", line)
-		}
-		flags, err := strconv.ParseUint(fields[2], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("client: bad flags in %q", line)
-		}
-		size, err := strconv.Atoi(fields[3])
-		if err != nil {
-			return nil, fmt.Errorf("client: bad value size in %q", line)
-		}
-		var cas uint64
-		if len(fields) >= 5 {
-			if cas, err = strconv.ParseUint(fields[4], 10, 64); err != nil {
-				return nil, fmt.Errorf("client: bad cas token in %q", line)
-			}
-		}
-		data := make([]byte, size+2)
-		if _, err := readFull(c.r, data); err != nil {
-			return nil, err
-		}
-		out[fields[1]] = protocol.Value{Key: fields[1], Flags: uint32(flags), CAS: cas, Data: data[:size]}
+		out[string(key)] = data
 	}
-}
-
-func readFull(r *bufio.Reader, buf []byte) (int, error) {
-	total := 0
-	for total < len(buf) {
-		n, err := r.Read(buf[total:])
-		total += n
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
 }

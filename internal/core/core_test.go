@@ -529,8 +529,18 @@ func TestDrain(t *testing.T) {
 }
 
 // TestCapacityConservationProperty: hill climbing never creates or destroys
-// capacity beyond a single outstanding credit, and physical usage never
-// exceeds capacity per queue (within one in-flight item).
+// capacity (the sum of target capacities is exactly conserved), and physical
+// usage obeys the documented occupancy invariant.
+//
+// The invariant is stated against AppliedCapacity, not Capacity: capacity
+// changes are applied lazily (on the next miss, per the paper's
+// thrash-avoidance rule), and a queue that loses several hill-climbing
+// credits before its next miss transiently holds more than its shrunken
+// *target* — e.g. seed 6224889757895097368 drives one queue ~10 items over
+// Capacity through in-flight cliff-pointer resizes. Physical residency never
+// exceeds what is actually applied to the partitions, and once pending
+// resizes are drained the strict used <= capacity + one in-flight item bound
+// holds again.
 func TestCapacityConservationProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		cfg := itemCfg()
@@ -550,25 +560,40 @@ func TestCapacityConservationProperty(t *testing.T) {
 		for i := 0; i < 20000; i++ {
 			q := fmt.Sprintf("q%d", rng.Intn(nq))
 			m.Access(q, fmt.Sprintf("%s-%d", q, rng.Intn(2500)), 1)
-			sum := m.CapacitySum()
-			if sum != start {
+			if m.CapacitySum() != start {
 				return false
+			}
+		}
+		for _, s := range m.Snapshot() {
+			// Physical occupancy never exceeds the applied partition sizes.
+			if s.Used > s.AppliedCapacity+1 {
+				return false
+			}
+		}
+		// Settle every pending resize: the strict per-queue bound must hold
+		// on a quiesced manager.
+		for _, id := range m.QueueIDs() {
+			q := m.Queue(id)
+			for q.PendingResize() {
+				q.ForceApplyResize()
 			}
 		}
 		for _, s := range m.Snapshot() {
 			if s.Used > s.Capacity+1 {
 				return false
 			}
+			if s.AppliedCapacity > s.Capacity {
+				return false
+			}
 		}
-		return true
+		return m.CapacitySum() == start
 	}
-	// Pin the input source: quick's default time-seeded generator made this
-	// test flaky (e.g. seed 6224889757895097368 drives one queue ~10 items
-	// over its capacity through in-flight cliff-pointer resizes, on the
-	// untouched seed code too). A deterministic draw keeps the property
-	// meaningful while keeping the tier-1 gate stable; loosening the bound
-	// for such seeds is tracked as a ROADMAP open item.
-	cfg := &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(1))}
+	// The formerly flaky seed (in-flight resizes push usage over the target
+	// capacity) must now satisfy the documented invariant.
+	if !f(6224889757895097368) {
+		t.Fatal("known overshoot seed violates the applied-capacity invariant")
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(1))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}

@@ -23,16 +23,20 @@ type QueueSpec struct {
 
 // QueueSnapshot reports a queue's state for monitoring and experiments.
 type QueueSnapshot struct {
-	ID           string
-	Capacity     int64
-	Used         int64
-	Items        int
-	Credits      int64
-	Split        bool
-	Ratio        float64
-	LeftPointer  int64
-	RightPointer int64
-	Stats        QueueStats
+	ID       string
+	Capacity int64
+	// AppliedCapacity is the capacity currently applied to the physical
+	// partitions; it lags Capacity while a resize is pending (resizes apply
+	// lazily on misses). Used never exceeds it.
+	AppliedCapacity int64
+	Used            int64
+	Items           int
+	Credits         int64
+	Split           bool
+	Ratio           float64
+	LeftPointer     int64
+	RightPointer    int64
+	Stats           QueueStats
 }
 
 // Manager runs Cliffhanger over a set of queues sharing a fixed memory
@@ -222,16 +226,17 @@ func (m *Manager) Snapshot() []QueueSnapshot {
 	for i, q := range m.queues {
 		lp, rp := q.Pointers()
 		out = append(out, QueueSnapshot{
-			ID:           q.id,
-			Capacity:     q.Capacity(),
-			Used:         q.Used(),
-			Items:        q.Items(),
-			Credits:      m.credits[i],
-			Split:        q.Split(),
-			Ratio:        q.Ratio(),
-			LeftPointer:  lp,
-			RightPointer: rp,
-			Stats:        q.Stats(),
+			ID:              q.id,
+			Capacity:        q.Capacity(),
+			AppliedCapacity: q.AppliedCapacity(),
+			Used:            q.Used(),
+			Items:           q.Items(),
+			Credits:         m.credits[i],
+			Split:           q.Split(),
+			Ratio:           q.Ratio(),
+			LeftPointer:     lp,
+			RightPointer:    rp,
+			Stats:           q.Stats(),
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })

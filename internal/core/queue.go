@@ -94,18 +94,17 @@ func (p *partition) promote(key string, cost int64, seg segment) []cache.Victim 
 // down the segments, returning physical evictions.
 func (p *partition) insert(key string, cost int64) []cache.Victim {
 	var physical []cache.Victim
-	// If the front segment cannot hold anything (tiny partitions), insert
-	// directly into the tail window.
-	overflow := p.front.Add(key, cost)
-	if p.front.Capacity() <= 0 || (len(overflow) == 1 && overflow[0].Key == key) {
-		// The entry itself bounced (cost exceeds front capacity): it goes to
-		// the tail window instead.
-		overflow = p.tail.Add(key, cost)
+	// If the front segment cannot hold this entry (tiny partitions, or cost
+	// exceeding the front capacity), insert directly into the tail window —
+	// checked up front so the steady-state path never pays front.Add's
+	// rejection-victim allocation.
+	if p.front.Capacity() <= 0 || cost > p.front.Capacity() {
+		overflow := p.tail.Add(key, cost)
 		physical = append(physical, p.cascadeFromTail(overflow)...)
 		return physical
 	}
 	// Normal cascade: front overflow enters the tail window.
-	for _, v := range overflow {
+	for _, v := range p.front.Add(key, cost) {
 		ov := p.tail.Add(v.Key, v.Cost)
 		physical = append(physical, p.cascadeFromTail(ov)...)
 	}
@@ -293,6 +292,19 @@ func (q *Queue) ID() string { return q.id }
 
 // Capacity returns the queue's target physical capacity in cost units.
 func (q *Queue) Capacity() int64 { return q.capacity }
+
+// AppliedCapacity returns the physical capacity currently applied to the
+// queue's partitions. It lags Capacity while a resize is pending (resizes are
+// applied lazily on misses per the paper's thrash-avoidance rule); the
+// documented occupancy invariant is Used() <= AppliedCapacity(), not
+// Used() <= Capacity().
+func (q *Queue) AppliedCapacity() int64 {
+	return q.left.physCapacity + q.right.physCapacity
+}
+
+// PendingResize reports whether a capacity or partition change is still
+// waiting to be applied (on the next miss, or via ForceApplyResize).
+func (q *Queue) PendingResize() bool { return q.pendingResize }
 
 // Used returns the physically resident cost.
 func (q *Queue) Used() int64 { return q.left.used() + q.right.used() }

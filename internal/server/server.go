@@ -6,6 +6,16 @@
 // The store shards each tenant's values under striped locks, so connections
 // hitting the same hot application still proceed in parallel, mirroring how
 // one Cliffhanger instance serves many applications on a Memcachier server.
+//
+// The request path is allocation-free in the steady state: each connection
+// owns a session with a zero-copy protocol.Parser (one reusable Command, keys
+// as []byte), a response scratch buffer that VALUE headers and numeric
+// replies are assembled into with strconv.Append*, and GET responses are
+// streamed one VALUE block at a time as keys are looked up (no []Value
+// buffering). Keys cross into the store as []byte via the byte-key entry
+// points (GetItemBytes, SetItemBytes); the only steady-state allocations are
+// the key string and value copy born at map insertion on SET. The
+// TestAllocGate tests pin this with testing.AllocsPerRun.
 package server
 
 import (
@@ -133,6 +143,30 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// session is the per-connection state: the buffered reader/writer, the
+// zero-copy parser with its reusable Command, the selected tenant and the
+// response scratch buffer. Everything a command needs in the steady state is
+// reused across commands, so the request path does not allocate.
+type session struct {
+	srv     *Server
+	r       *bufio.Reader
+	w       *bufio.Writer
+	parser  *protocol.Parser
+	tenant  string
+	scratch []byte
+}
+
+// newSession builds a session over the given buffered reader and writer.
+func newSession(s *Server, r *bufio.Reader, w *bufio.Writer) *session {
+	return &session{
+		srv:    s,
+		r:      r,
+		w:      w,
+		parser: protocol.NewParser(r),
+		tenant: s.cfg.DefaultTenant,
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -142,209 +176,247 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 
-	r := bufio.NewReaderSize(conn, 64<<10)
-	w := bufio.NewWriterSize(conn, 64<<10)
-	tenant := s.cfg.DefaultTenant
-	for {
-		cmd, err := protocol.ReadCommand(r)
-		if err != nil {
-			if errors.Is(err, protocol.ErrQuit) || errors.Is(err, io.EOF) {
-				return
-			}
-			if writeErr := protocol.WriteLine(w, "CLIENT_ERROR "+err.Error()); writeErr != nil {
-				return
-			}
-			if err := w.Flush(); err != nil {
-				return
-			}
-			// Unknown commands are recoverable; IO errors are not.
-			var netErr net.Error
-			if errors.As(err, &netErr) {
-				return
-			}
-			continue
+	c := newSession(s,
+		bufio.NewReaderSize(conn, 64<<10),
+		bufio.NewWriterSize(conn, 64<<10))
+	for c.step() {
+	}
+}
+
+// step reads and executes one command, reporting whether the connection
+// should keep being served. Responses are written pipelined (memcached
+// style): while more client data is already buffered, parsing continues and
+// responses queue up; the writer is flushed only once the batch is exhausted,
+// i.e. right before the next read could block. A closed-loop client (one
+// request at a time) still gets a flush per request.
+func (c *session) step() bool {
+	cmd, err := c.parser.ReadCommand()
+	if err != nil {
+		if errors.Is(err, protocol.ErrQuit) || errors.Is(err, io.EOF) {
+			return false
 		}
-		if err := s.handle(w, cmd, &tenant); err != nil {
-			s.logf("server: %v", err)
-			return
+		if writeErr := protocol.WriteLine(c.w, "CLIENT_ERROR "+err.Error()); writeErr != nil {
+			return false
 		}
-		// Pipelined response writing (memcached-style): while more client
-		// data is already buffered, keep parsing ahead and queuing responses;
-		// flush only once the batch is exhausted, i.e. right before the next
-		// read could block. A closed-loop client (one request at a time)
-		// still gets a flush per request.
-		if r.Buffered() == 0 {
-			if err := w.Flush(); err != nil {
-				return
-			}
+		if err := c.w.Flush(); err != nil {
+			return false
+		}
+		// A line past MaxLineLength may have been — and an unparseable
+		// <bytes> field definitely was — a storage command whose announced
+		// data block is still in the stream; parsing on would execute
+		// payload bytes as commands, so the connection must close.
+		if errors.Is(err, protocol.ErrLineTooLong) || errors.Is(err, protocol.ErrBadDataSize) {
+			return false
+		}
+		// Unknown commands are recoverable; IO errors are not.
+		var netErr net.Error
+		return !errors.As(err, &netErr)
+	}
+	if err := c.srv.handle(c, cmd); err != nil {
+		c.srv.logf("server: %v", err)
+		return false
+	}
+	if c.r.Buffered() == 0 {
+		if err := c.w.Flush(); err != nil {
+			return false
 		}
 	}
+	return true
 }
 
 // handle executes one command and writes its response.
-func (s *Server) handle(w *bufio.Writer, cmd *protocol.Command, tenant *string) error {
+func (s *Server) handle(c *session, cmd *protocol.Command) error {
 	s.Ops.Add(1)
 	switch cmd.Name {
-	case "tenant":
-		*tenant = cmd.Tenant
-		return protocol.WriteLine(w, "TENANT")
-	case "get", "gets":
-		return s.handleGet(w, cmd, *tenant)
-	case "set", "add", "replace", "append", "prepend", "cas":
-		return s.handleSet(w, cmd, *tenant)
-	case "touch":
-		return s.handleTouch(w, cmd, *tenant)
-	case "incr", "decr":
-		return s.handleIncrDecr(w, cmd, *tenant)
-	case "delete":
-		return s.handleDelete(w, cmd, *tenant)
-	case "stats":
-		return s.handleStats(w, *tenant)
-	case "flush_all":
-		if err := s.store.FlushTenant(*tenant); err != nil {
-			return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+	case protocol.VerbTenant:
+		c.tenant = cmd.Tenant
+		return protocol.WriteLine(c.w, "TENANT")
+	case protocol.VerbGet, protocol.VerbGets:
+		return s.handleGet(c, cmd)
+	case protocol.VerbSet, protocol.VerbAdd, protocol.VerbReplace,
+		protocol.VerbAppend, protocol.VerbPrepend, protocol.VerbCas:
+		return s.handleSet(c, cmd)
+	case protocol.VerbTouch:
+		return s.handleTouch(c, cmd)
+	case protocol.VerbIncr, protocol.VerbDecr:
+		return s.handleIncrDecr(c, cmd)
+	case protocol.VerbDelete:
+		return s.handleDelete(c, cmd)
+	case protocol.VerbStats:
+		return s.handleStats(c)
+	case protocol.VerbFlushAll:
+		if err := s.store.FlushTenant(c.tenant); err != nil {
+			return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
 		}
-		return protocol.WriteLine(w, "OK")
-	case "version":
-		return protocol.WriteLine(w, "VERSION cliffhanger-1.0")
+		return protocol.WriteLine(c.w, "OK")
+	case protocol.VerbVersion:
+		return protocol.WriteLine(c.w, "VERSION cliffhanger-1.0")
 	default:
-		return protocol.WriteLine(w, "ERROR")
+		return protocol.WriteLine(c.w, "ERROR")
 	}
 }
 
-func (s *Server) handleGet(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
-	values := make([]protocol.Value, 0, len(cmd.Keys))
-	withCAS := cmd.Name == "gets"
+// handleGet streams one VALUE block per present key as it is looked up —
+// no []Value is buffered — and terminates with END. The VALUE header is
+// assembled into the session scratch with strconv appends.
+func (s *Server) handleGet(c *session, cmd *protocol.Command) error {
+	withCAS := cmd.Name == protocol.VerbGets
 	for _, key := range cmd.Keys {
-		stop := timeOp(s.GetLatency)
-		it, ok, err := s.store.GetItem(tenant, key)
-		stop()
+		start := nowNano()
+		it, ok, err := s.store.GetItemBytes(c.tenant, key)
+		s.GetLatency.Record(nowNano() - start)
 		if err != nil {
-			return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+			return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
 		}
-		if ok {
-			values = append(values, protocol.Value{Key: key, Flags: it.Flags, CAS: it.CAS, Data: it.Value})
+		if !ok {
+			continue
+		}
+		c.scratch = protocol.AppendValueHeader(c.scratch[:0], key, it.Flags, len(it.Value), it.CAS, withCAS)
+		if _, err := c.w.Write(c.scratch); err != nil {
+			return err
+		}
+		if _, err := c.w.Write(it.Value); err != nil {
+			return err
+		}
+		if _, err := c.w.WriteString("\r\n"); err != nil {
+			return err
 		}
 	}
-	return protocol.WriteValues(w, values, withCAS)
+	_, err := c.w.WriteString("END\r\n")
+	return err
 }
 
-func (s *Server) handleSet(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
+// cloneData copies a parser-owned data block; the store retains what the
+// storage verbs below hand it, so the reusable parse buffer must not leak in.
+func cloneData(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func (s *Server) handleSet(c *session, cmd *protocol.Command) error {
 	key := cmd.Keys[0]
-	stop := timeOp(s.SetLatency)
+	start := nowNano()
 	var (
 		stored bool
 		err    error
 	)
 	switch cmd.Name {
-	case "set":
-		err = s.store.SetItem(tenant, key, cmd.Data, cmd.Flags, cmd.ExpTime)
+	case protocol.VerbSet:
+		// SetItemBytes copies the value and materializes the key string only
+		// at map insertion — the one allocation site of the steady state.
+		err = s.store.SetItemBytes(c.tenant, key, cmd.Data, cmd.Flags, cmd.ExpTime)
 		stored = err == nil
-	case "add":
-		stored, err = s.store.Add(tenant, key, cmd.Data, cmd.Flags, cmd.ExpTime)
-	case "replace":
-		stored, err = s.store.Replace(tenant, key, cmd.Data, cmd.Flags, cmd.ExpTime)
-	case "append":
-		stored, err = s.store.Append(tenant, key, cmd.Data)
-	case "prepend":
-		stored, err = s.store.Prepend(tenant, key, cmd.Data)
-	case "cas":
-		res, cerr := s.store.CompareAndSwap(tenant, key, cmd.Data, cmd.Flags, cmd.ExpTime, cmd.CAS)
-		stop()
+	case protocol.VerbAdd:
+		stored, err = s.store.Add(c.tenant, string(key), cloneData(cmd.Data), cmd.Flags, cmd.ExpTime)
+	case protocol.VerbReplace:
+		stored, err = s.store.Replace(c.tenant, string(key), cloneData(cmd.Data), cmd.Flags, cmd.ExpTime)
+	case protocol.VerbAppend:
+		// Append/Prepend copy the suffix into the new value themselves, so
+		// the parser-owned block can be passed through.
+		stored, err = s.store.Append(c.tenant, string(key), cmd.Data)
+	case protocol.VerbPrepend:
+		stored, err = s.store.Prepend(c.tenant, string(key), cmd.Data)
+	case protocol.VerbCas:
+		res, cerr := s.store.CompareAndSwap(c.tenant, string(key), cloneData(cmd.Data), cmd.Flags, cmd.ExpTime, cmd.CAS)
+		s.SetLatency.Record(nowNano() - start)
 		if cmd.NoReply {
 			return nil
 		}
 		if cerr != nil {
-			return protocol.WriteLine(w, "SERVER_ERROR "+cerr.Error())
+			return protocol.WriteLine(c.w, "SERVER_ERROR "+cerr.Error())
 		}
 		switch res {
 		case store.CASStored:
-			return protocol.WriteLine(w, "STORED")
+			return protocol.WriteLine(c.w, "STORED")
 		case store.CASExists:
-			return protocol.WriteLine(w, "EXISTS")
+			return protocol.WriteLine(c.w, "EXISTS")
 		default:
-			return protocol.WriteLine(w, "NOT_FOUND")
+			return protocol.WriteLine(c.w, "NOT_FOUND")
 		}
 	}
-	stop()
+	s.SetLatency.Record(nowNano() - start)
 	if cmd.NoReply {
 		return nil
 	}
 	if err != nil {
-		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+		return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
 	}
 	if !stored {
-		return protocol.WriteLine(w, "NOT_STORED")
+		return protocol.WriteLine(c.w, "NOT_STORED")
 	}
-	return protocol.WriteLine(w, "STORED")
+	return protocol.WriteLine(c.w, "STORED")
 }
 
-func (s *Server) handleTouch(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
-	stop := timeOp(s.SetLatency)
-	found, err := s.store.Touch(tenant, cmd.Keys[0], cmd.ExpTime)
-	stop()
+func (s *Server) handleTouch(c *session, cmd *protocol.Command) error {
+	start := nowNano()
+	found, err := s.store.Touch(c.tenant, string(cmd.Keys[0]), cmd.ExpTime)
+	s.SetLatency.Record(nowNano() - start)
 	if cmd.NoReply {
 		return nil
 	}
 	if err != nil {
-		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+		return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
 	}
 	if !found {
-		return protocol.WriteLine(w, "NOT_FOUND")
+		return protocol.WriteLine(c.w, "NOT_FOUND")
 	}
-	return protocol.WriteLine(w, "TOUCHED")
+	return protocol.WriteLine(c.w, "TOUCHED")
 }
 
-func (s *Server) handleIncrDecr(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
+func (s *Server) handleIncrDecr(c *session, cmd *protocol.Command) error {
 	var (
 		val   uint64
 		found bool
 		err   error
 	)
-	stop := timeOp(s.SetLatency)
-	if cmd.Name == "incr" {
-		val, found, err = s.store.Incr(tenant, cmd.Keys[0], cmd.Delta)
+	start := nowNano()
+	if cmd.Name == protocol.VerbIncr {
+		val, found, err = s.store.Incr(c.tenant, string(cmd.Keys[0]), cmd.Delta)
 	} else {
-		val, found, err = s.store.Decr(tenant, cmd.Keys[0], cmd.Delta)
+		val, found, err = s.store.Decr(c.tenant, string(cmd.Keys[0]), cmd.Delta)
 	}
-	stop()
+	s.SetLatency.Record(nowNano() - start)
 	if cmd.NoReply {
 		return nil
 	}
 	if errors.Is(err, store.ErrNotNumeric) {
-		return protocol.WriteLine(w, "CLIENT_ERROR cannot increment or decrement non-numeric value")
+		return protocol.WriteLine(c.w, "CLIENT_ERROR cannot increment or decrement non-numeric value")
 	}
 	if err != nil {
-		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+		return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
 	}
 	if !found {
-		return protocol.WriteLine(w, "NOT_FOUND")
+		return protocol.WriteLine(c.w, "NOT_FOUND")
 	}
-	return protocol.WriteLine(w, strconv.FormatUint(val, 10))
+	c.scratch = strconv.AppendUint(c.scratch[:0], val, 10)
+	c.scratch = append(c.scratch, '\r', '\n')
+	_, werr := c.w.Write(c.scratch)
+	return werr
 }
 
-func (s *Server) handleDelete(w *bufio.Writer, cmd *protocol.Command, tenant string) error {
-	deleted, err := s.store.Delete(tenant, cmd.Keys[0])
+func (s *Server) handleDelete(c *session, cmd *protocol.Command) error {
+	deleted, err := s.store.Delete(c.tenant, string(cmd.Keys[0]))
 	if cmd.NoReply {
 		return nil
 	}
 	if err != nil {
-		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+		return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
 	}
 	if deleted {
-		return protocol.WriteLine(w, "DELETED")
+		return protocol.WriteLine(c.w, "DELETED")
 	}
-	return protocol.WriteLine(w, "NOT_FOUND")
+	return protocol.WriteLine(c.w, "NOT_FOUND")
 }
 
-func (s *Server) handleStats(w *bufio.Writer, tenant string) error {
-	st, err := s.store.Stats(tenant)
+func (s *Server) handleStats(c *session) error {
+	st, err := s.store.Stats(c.tenant)
 	if err != nil {
-		return protocol.WriteLine(w, "SERVER_ERROR "+err.Error())
+		return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
 	}
 	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec"}
 	stats := map[string]string{
-		"tenant":      tenant,
+		"tenant":      c.tenant,
 		"cmd_get":     strconv.FormatInt(st.Requests, 10),
 		"get_hits":    strconv.FormatInt(st.Hits, 10),
 		"get_misses":  strconv.FormatInt(st.Misses, 10),
@@ -355,20 +427,14 @@ func (s *Server) handleStats(w *bufio.Writer, tenant string) error {
 		"expired":     strconv.FormatInt(st.Expired, 10),
 		"ops_per_sec": fmt.Sprintf("%.0f", s.Ops.Rate()),
 	}
-	for _, c := range st.Classes {
-		k := fmt.Sprintf("class_%d_hit_rate", c.Class)
+	for _, cl := range st.Classes {
+		k := fmt.Sprintf("class_%d_hit_rate", cl.Class)
 		order = append(order, k)
 		hr := 0.0
-		if c.Requests > 0 {
-			hr = float64(c.Hits) / float64(c.Requests)
+		if cl.Requests > 0 {
+			hr = float64(cl.Hits) / float64(cl.Requests)
 		}
 		stats[k] = fmt.Sprintf("%.4f", hr)
 	}
-	return protocol.WriteStats(w, stats, order)
-}
-
-// timeOp returns a function that records the elapsed time into h when called.
-func timeOp(h *metrics.LatencyHistogram) func() {
-	start := nowNano()
-	return func() { h.Record(nowNano() - start) }
+	return protocol.WriteStats(c.w, stats, order)
 }

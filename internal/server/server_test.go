@@ -243,10 +243,13 @@ func TestServerConcurrentClients(t *testing.T) {
 // BenchmarkServerPipelined measures end-to-end server throughput at
 // pipeline depths 1 (closed-loop request/response) and 64 (batched): the
 // parse-ahead write path should make deep pipelines several times cheaper
-// per operation by amortizing flush syscalls across the batch.
+// per operation by amortizing flush syscalls across the batch. allocs/op
+// covers client and server together (they share the process here); the
+// server-side floor is pinned separately by TestAllocGateServerGet.
 func BenchmarkServerPipelined(b *testing.B) {
 	for _, depth := range []int{1, 64} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			st := store.New(store.Config{DefaultMode: store.AllocCliffhanger, DefaultPolicy: cache.PolicyLRU})
 			defer st.Close()
 			if err := st.RegisterTenant("default", 64<<20); err != nil {

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"cliffhanger/internal/cache"
+)
+
+// TestAllocGateStoreGet pins the allocation floor of the byte-keyed GET path
+// with synchronous bookkeeping (the deterministic mode, where every
+// structural event is applied inline rather than buffered):
+//
+//   - hit:  0 allocations — the map lookup rides the alloc-free m[string(b)]
+//     form and the lookup event reuses the record's interned key string;
+//   - miss: 1 allocation — the key string materialized for the lookup event
+//     (the key may still live in a shadow queue, so the tenant needs it).
+//
+// `make alloccheck` runs this as the hot-path allocation gate; a regression
+// here fails CI rather than a future benchmark run.
+func TestAllocGateStoreGet(t *testing.T) {
+	s := New(Config{
+		DefaultMode:     AllocCliffhanger,
+		DefaultPolicy:   cache.PolicyLRU,
+		SyncBookkeeping: true,
+	})
+	defer s.Close()
+	if err := s.RegisterTenant("hot", 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	value := make([]byte, 256)
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%d", i))
+		if err := s.Set("hot", string(keys[i]), value); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var i int
+	hitAllocs := testing.AllocsPerRun(2000, func() {
+		k := keys[i&(len(keys)-1)]
+		i++
+		if _, ok, err := s.GetItemBytes("hot", k); err != nil || !ok {
+			t.Fatalf("get hit = %v %v", ok, err)
+		}
+	})
+	if hitAllocs != 0 {
+		t.Errorf("GetItemBytes hit allocates %.2f objects/op, want 0", hitAllocs)
+	}
+
+	missKey := []byte("no-such-key")
+	missAllocs := testing.AllocsPerRun(2000, func() {
+		if _, ok, err := s.GetItemBytes("hot", missKey); err != nil || ok {
+			t.Fatalf("get miss = %v %v", ok, err)
+		}
+	})
+	if missAllocs > 1 {
+		t.Errorf("GetItemBytes miss allocates %.2f objects/op, want <= 1 (the event key string)", missAllocs)
+	}
+}
+
+// TestAllocGateStoreSet pins the SET floor: re-setting a resident key with
+// SetItemBytes allocates exactly the value copy and the item record (2
+// objects) — the interned key string is reused, and no intermediate command
+// or event state allocates.
+func TestAllocGateStoreSet(t *testing.T) {
+	s := New(Config{
+		DefaultMode:     AllocCliffhanger,
+		DefaultPolicy:   cache.PolicyLRU,
+		SyncBookkeeping: true,
+	})
+	defer s.Close()
+	if err := s.RegisterTenant("hot", 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("steady-key")
+	value := make([]byte, 256)
+	if err := s.SetItemBytes("hot", key, value, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		if err := s.SetItemBytes("hot", key, value, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("SetItemBytes re-set allocates %.2f objects/op, want <= 2 (value copy + item record)", allocs)
+	}
+}
+
+// TestGetItemBytesMatchesGetItem checks the byte-keyed read against the
+// string-keyed one across hit, miss, flags/CAS and expiry shedding.
+func TestGetItemBytesMatchesGetItem(t *testing.T) {
+	clock := int64(1000)
+	s := New(Config{
+		DefaultMode:     AllocCliffhanger,
+		DefaultPolicy:   cache.PolicyLRU,
+		SyncBookkeeping: true,
+		Now:             func() int64 { return clock },
+	})
+	defer s.Close()
+	if err := s.RegisterTenant("app", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetItem("app", "k", []byte("v"), 1234, 0); err != nil {
+		t.Fatal(err)
+	}
+	a, okA, _ := s.GetItem("app", "k")
+	b, okB, _ := s.GetItemBytes("app", []byte("k"))
+	if okA != okB || string(a.Value) != string(b.Value) || a.Flags != b.Flags || a.CAS != b.CAS {
+		t.Fatalf("GetItem %+v/%v vs GetItemBytes %+v/%v", a, okA, b, okB)
+	}
+	if _, ok, _ := s.GetItemBytes("app", []byte("missing")); ok {
+		t.Fatalf("byte-keyed miss reported a hit")
+	}
+	// Expiry shedding through the byte-keyed path.
+	if err := s.SetItem("app", "ttl", []byte("v"), 0, 2000); err != nil {
+		t.Fatal(err)
+	}
+	clock = 3000
+	if _, ok, _ := s.GetItemBytes("app", []byte("ttl")); ok {
+		t.Fatalf("expired record served through GetItemBytes")
+	}
+	st, err := s.Stats("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+	if _, ok, err := s.GetItemBytes("ghost", []byte("k")); err == nil || ok {
+		t.Fatalf("unknown tenant must error")
+	}
+}
+
+// TestColdClassFirstAdmissionSticks is the regression test for the ROADMAP
+// open item: the first admission into a cold Cliffhanger class whose chunk
+// size exceeds MinQueueBytes (2 credits = 8 KiB on default config) used to
+// bounce once, because the freshly granted page was only applied to the
+// queue's partitions after the insert. With the eager resize on page growth
+// the very first SET of a big value must succeed, be resident, and be
+// served by the following GET — in both bookkeeping modes.
+func TestColdClassFirstAdmissionSticks(t *testing.T) {
+	for _, syncBk := range []bool{true, false} {
+		name := "async"
+		if syncBk {
+			name = "sync"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := New(Config{
+				DefaultMode:     AllocCliffhanger,
+				DefaultPolicy:   cache.PolicyLRU,
+				SyncBookkeeping: syncBk,
+			})
+			defer s.Close()
+			if err := s.RegisterTenant("app", 64<<20); err != nil {
+				t.Fatal(err)
+			}
+			// 12 KiB value -> 16 KiB chunk class, twice the 8 KiB
+			// MinQueueBytes floor a cold queue starts at. The first set used
+			// to fail outright in sync mode ("does not fit") and silently
+			// drop in async mode.
+			big := make([]byte, 12<<10)
+			if err := s.Set("app", "big-key", big); err != nil {
+				t.Fatalf("first admission into a cold big-chunk class bounced: %v", err)
+			}
+			s.Flush()
+			v, ok, err := s.Get("app", "big-key")
+			if err != nil || !ok || len(v) != len(big) {
+				t.Fatalf("big key not resident after first set: ok=%v err=%v", ok, err)
+			}
+			used, err := s.UsedBytes("app")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if used < 16<<10 {
+				t.Fatalf("UsedBytes = %d, want at least one 16 KiB chunk", used)
+			}
+			// An even larger class (64 KiB chunk) on the same tenant.
+			if err := s.Set("app", "bigger-key", make([]byte, 60<<10)); err != nil {
+				t.Fatalf("cold 64 KiB class bounced: %v", err)
+			}
+			s.Flush()
+			if _, ok, _ := s.Get("app", "bigger-key"); !ok {
+				t.Fatalf("64 KiB chunk key not resident after first set")
+			}
+		})
+	}
+}
+
+// TestSetItemBytesCopiesValue pins the ownership contract: the store must not
+// retain the caller's (reusable) key and value buffers.
+func TestSetItemBytesCopiesValue(t *testing.T) {
+	for _, syncBk := range []bool{true, false} {
+		s := New(Config{DefaultMode: AllocDefault, DefaultPolicy: cache.PolicyLRU, SyncBookkeeping: syncBk})
+		if err := s.RegisterTenant("app", 8<<20); err != nil {
+			t.Fatal(err)
+		}
+		key := []byte("shared-buffer-key")
+		value := []byte("first")
+		if err := s.SetItemBytes("app", key, value, 7, 0); err != nil {
+			t.Fatal(err)
+		}
+		copy(value, "XXXXX") // simulate the parse buffer being reused
+		key[0] = 'Z'
+		it, ok, err := s.GetItemBytes("app", []byte("shared-buffer-key"))
+		if err != nil || !ok {
+			t.Fatalf("get after buffer reuse = %v %v", ok, err)
+		}
+		if string(it.Value) != "first" || it.Flags != 7 {
+			t.Fatalf("store retained caller buffers: %q flags=%d", it.Value, it.Flags)
+		}
+		s.Close()
+	}
+}

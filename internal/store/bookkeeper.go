@@ -151,12 +151,11 @@ const (
 	actNone recordAction = iota
 	// actNotify: nudge the drain goroutine.
 	actNotify
-	// actHelp: the buffer is past its high-water mark; apply the backlog
-	// inline.
-	actHelp
-	// actInline: nothing was buffered (synchronous mode or closed); apply
-	// the event inline.
-	actInline
+	// actApply: apply the shard's backlog inline before returning — used
+	// when the buffer is past its high-water mark, and for every event in
+	// synchronous (or closed) mode, where the same buffered path keeps
+	// per-key events applying in arrival order without a drain goroutine.
+	actApply
 )
 
 // bufferLocked stamps ev (writing the assigned sequence back through the
@@ -165,9 +164,18 @@ const (
 // critical section that mutated the shard's items — that is what makes
 // per-key event order match per-key value order. The returned action must be
 // passed to finish after releasing sh.mu.
+//
+// Synchronous (and closed-bookkeeper) events go through the very same
+// buffer: the producer applies the shard's backlog itself right after
+// releasing sh.mu. Buffering even the inline-applied events is what
+// serializes same-key events from racing goroutines into arrival order — an
+// event applied directly, outside the buffer, could overtake an older
+// buffered event for the same key between the shard unlock and the apply.
 func (b *bookkeeper) bufferLocked(sh *valueShard, ev *event) recordAction {
 	if b.synchronous || b.closed.Load() {
-		return actInline
+		ev.seq = b.seq.Add(1)
+		sh.pending = append(sh.pending, *ev)
+		return actApply
 	}
 	if (ev.kind == evLookup || ev.kind == evTouch) && len(sh.pending) >= shardBufferHighWater {
 		b.dropped.Add(1)
@@ -178,7 +186,7 @@ func (b *bookkeeper) bufferLocked(sh *valueShard, ev *event) recordAction {
 	switch n := len(sh.pending); {
 	case n >= shardBufferHighWater:
 		// Structural backlog: help out inline rather than queue further.
-		return actHelp
+		return actApply
 	case n == eventBatchSize:
 		return actNotify
 	}
@@ -189,9 +197,7 @@ func (b *bookkeeper) bufferLocked(sh *valueShard, ev *event) recordAction {
 // hold any shard lock.
 func (b *bookkeeper) finish(sh *valueShard, ev event, act recordAction) {
 	switch act {
-	case actInline:
-		b.applyEvents([]event{ev})
-	case actHelp:
+	case actApply:
 		b.applyShard(sh)
 	case actNotify:
 		select {
@@ -203,14 +209,19 @@ func (b *bookkeeper) finish(sh *valueShard, ev event, act recordAction) {
 
 // applyShard atomically steals and replays one shard's buffer. applyMu makes
 // steal+apply a single critical section per shard, so two appliers can never
-// replay one shard's events out of order.
+// replay one shard's events out of order. The stolen buffer ping-pongs with
+// the shard's spare so steady-state buffering never allocates.
 func (b *bookkeeper) applyShard(sh *valueShard) {
 	sh.applyMu.Lock()
 	sh.mu.Lock()
 	batch := sh.pending
-	sh.pending = nil
+	sh.pending = sh.spare[:0]
+	sh.spare = nil
 	sh.mu.Unlock()
 	b.applyEvents(batch)
+	sh.mu.Lock()
+	sh.spare = batch[:0]
+	sh.mu.Unlock()
 	sh.applyMu.Unlock()
 }
 
@@ -228,29 +239,35 @@ func (b *bookkeeper) applyEvents(batch []event) {
 	}
 	b.mu.Lock()
 	for _, ev := range batch {
-		var evicted []cache.Victim
-		switch ev.kind {
-		case evLookup:
-			b.tenant.Lookup(ev.key, ev.size)
-		case evTouch:
-			b.tenant.Touch(ev.key, ev.size)
-		case evAdmit:
-			evicted = b.tenant.Admit(ev.key, ev.size)
-		case evReAdmit:
-			evicted = b.tenant.ReAdmit(ev.key, ev.oldSize, ev.size)
-		case evRemove:
-			b.tenant.Delete(ev.key, ev.size)
-		case evExpire:
-			b.tenant.Expire(ev.key, ev.size)
-		}
-		if ev.kind == evAdmit || ev.kind == evReAdmit {
-			b.entry.markAdmitted(ev.key, ev.seq)
-		}
-		for _, v := range evicted {
-			b.entry.dropVictim(v.Key)
-		}
+		b.applyEventLocked(ev)
 	}
 	b.mu.Unlock()
+}
+
+// applyEventLocked replays one event against the tenant. The caller must
+// hold b.mu.
+func (b *bookkeeper) applyEventLocked(ev event) {
+	var evicted []cache.Victim
+	switch ev.kind {
+	case evLookup:
+		b.tenant.Lookup(ev.key, ev.size)
+	case evTouch:
+		b.tenant.Touch(ev.key, ev.size)
+	case evAdmit:
+		evicted = b.tenant.Admit(ev.key, ev.size)
+	case evReAdmit:
+		evicted = b.tenant.ReAdmit(ev.key, ev.oldSize, ev.size)
+	case evRemove:
+		b.tenant.Delete(ev.key, ev.size)
+	case evExpire:
+		b.tenant.Expire(ev.key, ev.size)
+	}
+	if ev.kind == evAdmit || ev.kind == evReAdmit {
+		b.entry.markAdmitted(ev.key, ev.seq)
+	}
+	for _, v := range evicted {
+		b.entry.dropVictim(v.Key)
+	}
 }
 
 // drainLoop sweeps the shard buffers when nudged by producers and on a
@@ -318,7 +335,9 @@ func (b *bookkeeper) sweep() {
 		shards[i].applyMu.Lock()
 		shards[i].mu.Lock()
 		all = append(all, shards[i].pending...)
-		shards[i].pending = nil
+		// The events were copied into the merged batch, so the buffer can be
+		// truncated in place (keeping its capacity for reuse).
+		shards[i].pending = shards[i].pending[:0]
 		shards[i].mu.Unlock()
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
@@ -331,11 +350,10 @@ func (b *bookkeeper) sweep() {
 // flush blocks until every event recorded before the call has been applied:
 // buffered events are swept here, and an application already in flight on
 // another goroutine completes before the sweep passes its shard (applyMu).
-// It is a no-op in synchronous mode, where nothing is ever in flight.
+// In synchronous mode each operation applies its own events before
+// returning, but the sweep still runs so a concurrent operation caught
+// between buffering and applying cannot be missed.
 func (b *bookkeeper) flush() {
-	if b.synchronous {
-		return
-	}
 	b.sweep()
 }
 

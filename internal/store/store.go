@@ -64,6 +64,10 @@ type Store struct {
 // token of the last mutation, the charged size the admission was accounted
 // under (so GET and DELETE never recompute it), and the expiry deadline.
 type item struct {
+	// key is the interned key string the record was inserted under: the one
+	// string materialized per resident key. Byte-keyed reads reuse it for
+	// their bookkeeping events so a GET hit never converts []byte to string.
+	key   string
 	value []byte
 	flags uint32
 	cas   uint64
@@ -73,12 +77,12 @@ type item struct {
 	// expires is the expiry deadline in unix seconds; 0 means never.
 	// Negative deadlines (exptime < 0 on the wire) are already expired.
 	expires int64
-	// seq is the bookkeeping sequence of the record's last mutation (0 with
-	// synchronous bookkeeping) and pendingAdmit is true while that
-	// mutation's admission event has not been replayed yet. Eviction replay
-	// spares records with a pending admission: the upcoming replay will
-	// re-establish their structural entry, so the newer value must survive
-	// (see markAdmitted and dropVictim).
+	// seq is the bookkeeping sequence of the record's last mutation and
+	// pendingAdmit is true while that mutation's admission event has not
+	// been replayed yet. Eviction replay spares records with a pending
+	// admission: the upcoming replay will re-establish their structural
+	// entry, so the newer value must survive (see markAdmitted and
+	// dropVictim).
 	seq          uint64
 	pendingAdmit bool
 }
@@ -98,8 +102,11 @@ type valueShard struct {
 
 	// pending buffers this shard's bookkeeping events (guarded by mu);
 	// applyMu makes stealing and replaying the buffer one atomic step so
-	// per-key event order is preserved (see bookkeeper.applyShard).
+	// per-key event order is preserved (see bookkeeper.applyShard). spare is
+	// the recycled second buffer applyShard ping-pongs with, so steady-state
+	// event buffering never allocates.
 	pending []event
+	spare   []event
 	applyMu sync.Mutex
 }
 
@@ -113,6 +120,10 @@ type tenantEntry struct {
 }
 
 func (e *tenantEntry) shardFor(key string) *valueShard {
+	return &e.shards[fnv1a64(key)&e.mask]
+}
+
+func (e *tenantEntry) shardForBytes(key []byte) *valueShard {
 	return &e.shards[fnv1a64(key)&e.mask]
 }
 
@@ -159,6 +170,7 @@ func (e *tenantEntry) markAdmitted(key string, seq uint64) {
 func (e *tenantEntry) setLocked(sh *valueShard, key string, prev *item, value []byte, flags uint32, expires int64) event {
 	sh.casCounter++
 	it := &item{
+		key:     key,
 		value:   value,
 		flags:   flags,
 		cas:     sh.casCounter,
@@ -187,22 +199,26 @@ func (e *tenantEntry) bufferMutationLocked(sh *valueShard, ev *event) recordActi
 	act := e.bk.bufferLocked(sh, ev)
 	if it := sh.items[ev.key]; it != nil {
 		it.seq = ev.seq
-		// Inline applications (seq 0: synchronous or closed bookkeeping)
-		// are not deferred, so only buffered events count as pending.
+		// Pending until the admission replays — in synchronous mode that
+		// happens inside the finish call that follows, but the flag still
+		// shields the record from a concurrent eviction's victim drop in
+		// the window before this mutation's own apply runs.
 		it.pendingAdmit = ev.seq != 0
 	}
 	return act
 }
 
-// fnv1a64 is the FNV-1a hash used to stripe keys across value shards.
-func fnv1a64(s string) uint64 {
+// fnv1a64 is the FNV-1a hash used to stripe keys across value shards; the
+// single generic body guarantees string- and byte-keyed lookups land on the
+// same shard.
+func fnv1a64[T ~string | ~[]byte](key T) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
 	)
 	h := uint64(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
 		h *= prime
 	}
 	return h
@@ -450,6 +466,46 @@ func lookupSize(key string, it *item) int64 {
 	return it.size
 }
 
+// GetItemBytes is GetItem with a caller-owned []byte key: the map lookup
+// rides Go's allocation-free m[string(b)] optimization, and on a hit the
+// bookkeeping event reuses the record's interned key string, so a
+// steady-state hit performs zero heap allocations in this layer. A miss
+// materializes one key string for the lookup event (the key might still be
+// resident in a shadow queue, so the real key must reach the tenant).
+func (s *Store) GetItemBytes(tenant string, key []byte) (Item, bool, error) {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return Item{}, false, ErrNoTenant{tenant}
+	}
+	sh := e.shardForBytes(key)
+	sh.mu.Lock()
+	it := sh.items[string(key)]
+	if it != nil && it.expires != 0 && it.expiredAt(s.cfg.Now()) {
+		// Slow path: shed the dead record, then account the miss. The dead
+		// record's interned key serves both events.
+		exp := expireLocked(sh, it.key, it)
+		expAct := e.bk.bufferLocked(sh, &exp)
+		ev := event{kind: evLookup, key: it.key, size: int64(len(key))}
+		act := e.bk.bufferLocked(sh, &ev)
+		sh.mu.Unlock()
+		e.bk.finish(sh, exp, expAct)
+		e.bk.finish(sh, ev, act)
+		return Item{}, false, nil
+	}
+	var ev event
+	var out Item
+	if it != nil {
+		ev = event{kind: evLookup, key: it.key, size: it.size}
+		out = Item{Value: it.value, Flags: it.flags, CAS: it.cas}
+	} else {
+		ev = event{kind: evLookup, key: string(key), size: int64(len(key))}
+	}
+	act := e.bk.bufferLocked(sh, &ev)
+	sh.mu.Unlock()
+	e.bk.finish(sh, ev, act)
+	return out, it != nil, nil
+}
+
 // Set stores value under key for the tenant, evicting older entries as
 // needed. Values too large for any slab class are rejected. Equivalent to
 // SetItem with zero flags and no expiry.
@@ -473,63 +529,83 @@ func (s *Store) SetItem(tenant, key string, value []byte, flags uint32, exptime 
 	if _, fits := e.tenant.ClassFor(size); !fits {
 		return errTooLarge(key, size)
 	}
-	expires := s.deadline(exptime)
 	sh := e.shardFor(key)
 	sh.mu.Lock()
-	// The previous record is consulted even if expired: its structural
-	// entry is still resident, so the re-admit below must shed it.
-	ev := e.setLocked(sh, key, sh.items[key], value, flags, expires)
-	if !e.bk.synchronous {
-		act := e.bufferMutationLocked(sh, &ev)
-		sh.mu.Unlock()
-		e.bk.finish(sh, ev, act)
-		return nil
-	}
-	sh.mu.Unlock()
-	return e.admitSync(tenant, ev)
+	return s.commitSetLocked(e, sh, tenant, key, sh.items[key], value, flags, exptime)
 }
 
-// admitSync applies an admit/re-admit event inline (synchronous bookkeeping)
-// and reports the does-not-fit error asynchronous mode can only log.
-func (e *tenantEntry) admitSync(tenant string, ev event) error {
-	e.bk.mu.Lock()
-	var victims []cache.Victim
-	if ev.kind == evReAdmit {
-		victims = e.tenant.ReAdmit(ev.key, ev.oldSize, ev.size)
+// SetItemBytes is SetItem for a caller-owned key and value (the server's
+// reusable parse buffers): the value is copied, and the key string is
+// materialized only here, at map insertion — re-setting a resident key reuses
+// its interned key. This is the single allocation site of the steady-state
+// request path.
+func (s *Store) SetItemBytes(tenant string, key, value []byte, flags uint32, exptime int64) error {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return ErrNoTenant{tenant}
+	}
+	size := int64(len(key) + len(value))
+	if _, fits := e.tenant.ClassFor(size); !fits {
+		return errTooLarge(string(key), size)
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	sh := e.shardForBytes(key)
+	sh.mu.Lock()
+	prev := sh.items[string(key)]
+	ks := ""
+	if prev != nil {
+		ks = prev.key
 	} else {
-		victims = e.tenant.Admit(ev.key, ev.size)
+		ks = string(key)
 	}
-	e.bk.mu.Unlock()
-	admitted := true
-	for _, v := range victims {
-		if v.Key == ev.key {
-			admitted = false
-			continue
-		}
-		e.dropValue(v.Key)
+	return s.commitSetLocked(e, sh, tenant, ks, prev, v, flags, exptime)
+}
+
+// commitSetLocked is the shared tail of SetItem and SetItemBytes: it installs
+// the record under the resolved interned key, buffers the admission and
+// finishes it, reporting the synchronous outcome. The previous record is
+// consulted even if expired — its structural entry is still resident, so the
+// re-admit must shed it. The caller must hold sh.mu, which is released here.
+func (s *Store) commitSetLocked(e *tenantEntry, sh *valueShard, tenant, key string, prev *item, value []byte, flags uint32, exptime int64) error {
+	ev := e.setLocked(sh, key, prev, value, flags, s.deadline(exptime))
+	act := e.bufferMutationLocked(sh, &ev)
+	sh.mu.Unlock()
+	e.bk.finish(sh, ev, act)
+	return e.admitOutcome(tenant, sh, ev)
+}
+
+// admitOutcome reports the does-not-fit error of a settled synchronous
+// admission: by the time finish has returned, a bounced key's record has
+// been dropped by the replay (dropVictim), so a missing record means the
+// key did not fit its tenant. Asynchronous admissions settle off the
+// request path and always report nil (the value is shed shortly after; see
+// SetItem). Under concurrent synchronous use the check is best-effort — a
+// racing delete of the same key can be indistinguishable from a bounce.
+func (e *tenantEntry) admitOutcome(tenant string, sh *valueShard, ev event) error {
+	if !e.bk.synchronous {
+		return nil
 	}
-	if !admitted {
-		e.dropValue(ev.key)
+	sh.mu.Lock()
+	_, alive := sh.items[ev.key]
+	sh.mu.Unlock()
+	if !alive {
 		return fmt.Errorf("store: object %q does not fit in tenant %q", ev.key, tenant)
 	}
 	return nil
 }
 
 // storeMutation finishes a mutation that produced a new record: the event is
-// buffered (async) or applied inline (sync). The caller must hold sh.mu with
+// buffered, and its application is either deferred to the bookkeeper (async)
+// or performed before returning (sync). The caller must hold sh.mu with
 // evs/acts holding any expiry events already buffered in the same critical
 // section; storeMutation unlocks sh.mu.
 func (s *Store) storeMutation(e *tenantEntry, sh *valueShard, tenant string, ev event, evs []event, acts []recordAction) error {
-	if !e.bk.synchronous {
-		acts = append(acts, e.bufferMutationLocked(sh, &ev))
-		evs = append(evs, ev)
-		sh.mu.Unlock()
-		finishAll(e, sh, evs, acts)
-		return nil
-	}
+	acts = append(acts, e.bufferMutationLocked(sh, &ev))
+	evs = append(evs, ev)
 	sh.mu.Unlock()
 	finishAll(e, sh, evs, acts)
-	return e.admitSync(tenant, ev)
+	return e.admitOutcome(tenant, sh, ev)
 }
 
 // mutate is the shared locked read-modify-write path of Add, Replace,

@@ -582,6 +582,7 @@ func TestStoreSnapshotsRaceWithTraffic(t *testing.T) {
 func BenchmarkStoreGetSet(b *testing.B) {
 	for _, g := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			b.ReportAllocs()
 			s := New(Config{DefaultMode: AllocCliffhanger, DefaultPolicy: cache.PolicyLRU})
 			defer s.Close()
 			if err := s.RegisterTenant("hot", 256<<20); err != nil {

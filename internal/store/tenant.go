@@ -157,6 +157,10 @@ type Tenant struct {
 	// Cliffhanger state.
 	manager *core.Manager
 
+	// classIDs caches the per-class queue ID strings ("class0", "class1",
+	// ...) so the hot paths never format one per access.
+	classIDs []string
+
 	// Counters.
 	requests, hits, misses, sets, deletes, expired int64
 	touches, touchHits                             int64
@@ -174,6 +178,10 @@ func NewTenant(cfg TenantConfig) (*Tenant, error) {
 	}
 	t := &Tenant{cfg: cfg, geom: geom}
 	n := geom.NumClasses()
+	t.classIDs = make([]string, n)
+	for c := 0; c < n; c++ {
+		t.classIDs[c] = classQueueID(c)
+	}
 	t.classReq = make([]int64, n)
 	t.classHit = make([]int64, n)
 	t.classMiss = make([]int64, n)
@@ -225,6 +233,10 @@ func NewTenant(cfg TenantConfig) (*Tenant, error) {
 
 func classQueueID(class int) string { return fmt.Sprintf("class%d", class) }
 
+// classID returns the cached queue ID of class (no formatting on the hot
+// path).
+func (t *Tenant) classID(class int) string { return t.classIDs[class] }
+
 // Name returns the tenant's name.
 func (t *Tenant) Name() string { return t.cfg.Name }
 
@@ -271,8 +283,8 @@ func (t *Tenant) Lookup(key string, size int64) bool {
 	t.classReq[class]++
 	hit := false
 	if t.manager != nil {
-		if t.manager.Contains(classQueueID(class), key) {
-			out, _ := t.manager.Access(classQueueID(class), key, t.cost(class, size))
+		if t.manager.Contains(t.classID(class), key) {
+			out, _ := t.manager.Access(t.classID(class), key, t.cost(class, size))
 			hit = out.Hit
 		}
 	} else {
@@ -304,9 +316,9 @@ func (t *Tenant) Admit(key string, size int64) []cache.Victim {
 	cost := t.cost(class, size)
 	var victims []cache.Victim
 	if t.manager != nil {
-		t.growManagedIfNeeded(class, cost)
-		out, _ := t.manager.Access(classQueueID(class), key, cost)
-		victims = out.Evicted
+		victims = t.growManagedIfNeeded(class, cost)
+		out, _ := t.manager.Access(t.classID(class), key, cost)
+		victims = append(victims, out.Evicted...)
 	} else {
 		q := t.queueFor(class)
 		t.growIfNeeded(class, q, cost)
@@ -342,8 +354,8 @@ func (t *Tenant) Touch(key string, size int64) bool {
 	t.touches++
 	hit := false
 	if t.manager != nil {
-		if t.manager.Contains(classQueueID(class), key) {
-			out, _ := t.manager.Access(classQueueID(class), key, t.cost(class, size))
+		if t.manager.Contains(t.classID(class), key) {
+			out, _ := t.manager.Access(t.classID(class), key, t.cost(class, size))
 			hit = out.Hit
 		}
 	} else {
@@ -404,10 +416,10 @@ func (t *Tenant) Access(key string, size int64) (bool, []cache.Victim) {
 		victims []cache.Victim
 	)
 	if t.manager != nil {
-		t.growManagedIfNeeded(class, cost)
-		out, _ := t.manager.Access(classQueueID(class), key, cost)
+		victims = t.growManagedIfNeeded(class, cost)
+		out, _ := t.manager.Access(t.classID(class), key, cost)
 		hit = out.Hit
-		victims = out.Evicted
+		victims = append(victims, out.Evicted...)
 	} else {
 		q := t.queueFor(class)
 		t.growIfNeeded(class, q, cost)
@@ -438,7 +450,7 @@ func (t *Tenant) Delete(key string, size int64) bool {
 // touching any counter.
 func (t *Tenant) removeFrom(class int, key string) bool {
 	if t.manager != nil {
-		return t.manager.Remove(classQueueID(class), key)
+		return t.manager.Remove(t.classID(class), key)
 	}
 	return t.queueFor(class).Remove(key)
 }
@@ -470,20 +482,36 @@ func (t *Tenant) growIfNeeded(class int, q cache.Policy, cost int64) {
 // while free pages remain, a class queue that is out of room grows by one
 // page, exactly like stock Memcached; once the pages are exhausted, only the
 // hill-climbing credit transfers change queue sizes.
-func (t *Tenant) growManagedIfNeeded(class int, cost int64) {
+//
+// Hill-climbing capacity changes are applied lazily (on the next miss, per
+// the paper's thrash-avoidance rule), but a page grab is applied eagerly
+// here: the admission's insert runs before the end-of-access resize, so under
+// the lazy rule a freshly granted page would not help the very item that
+// requested it — a cold queue whose chunk size exceeds MinQueueBytes bounced
+// its first admission outright, and an exactly-full queue evicted its LRU
+// entry while a free page sat already granted. Stock Memcached grows by
+// pages immediately, so the eager apply is also the faithful behavior. Any
+// victims of the applied resize are returned for the caller to drop.
+func (t *Tenant) growManagedIfNeeded(class int, cost int64) []cache.Victim {
 	if t.alloc == nil || t.manager == nil {
-		return
+		return nil
 	}
-	q := t.manager.Queue(classQueueID(class))
+	q := t.manager.Queue(t.classID(class))
 	if q == nil {
-		return
+		return nil
 	}
+	grew := false
 	for q.Used()+cost > q.Capacity() && t.alloc.FreePages() > 0 {
 		if !t.alloc.Grow(class) {
-			return
+			break
 		}
 		q.SetCapacity(q.Capacity() + t.geom.PageSize)
+		grew = true
 	}
+	if grew || q.AppliedCapacity() < cost {
+		return q.ForceApplyResize()
+	}
+	return nil
 }
 
 // ClassCapacities returns the current per-class capacities in bytes, keyed
@@ -493,7 +521,7 @@ func (t *Tenant) ClassCapacities() map[int]int64 {
 	out := make(map[int]int64)
 	if t.manager != nil {
 		for c := 0; c < t.geom.NumClasses(); c++ {
-			if q := t.manager.Queue(classQueueID(c)); q != nil {
+			if q := t.manager.Queue(t.classID(c)); q != nil {
 				out[c] = q.Capacity()
 			}
 		}
@@ -564,7 +592,7 @@ func (t *Tenant) classItems() map[int]int {
 	out := make(map[int]int)
 	if t.manager != nil {
 		for c := 0; c < t.geom.NumClasses(); c++ {
-			if q := t.manager.Queue(classQueueID(c)); q != nil {
+			if q := t.manager.Queue(t.classID(c)); q != nil {
 				out[c] = q.Items()
 			}
 		}
@@ -580,7 +608,7 @@ func (t *Tenant) classUsed() map[int]int64 {
 	out := make(map[int]int64)
 	if t.manager != nil {
 		for c := 0; c < t.geom.NumClasses(); c++ {
-			if q := t.manager.Queue(classQueueID(c)); q != nil {
+			if q := t.manager.Queue(t.classID(c)); q != nil {
 				out[c] = q.Used()
 			}
 		}
