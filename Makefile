@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bins conformance alloccheck fuzz clean
+.PHONY: build test race vet fmt bench bins conformance alloccheck fuzz replay verify clean
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,11 @@ conformance:
 
 # alloccheck runs the testing.AllocsPerRun gates that pin the hot-path
 # allocation floors (GET hit = 0 through protocol+server+store; GET miss = 1;
-# SET = value copy + item record). An accidental allocation fails the build,
+# SET = value copy + item record; streaming client pipelined GET <= 1
+# amortized over a real socket). An accidental allocation fails the build,
 # not a future benchmark run.
 alloccheck:
-	$(GO) test -count=1 -run 'TestAllocGate' -v ./internal/server/ ./internal/store/
+	$(GO) test -count=1 -run 'TestAllocGate' -v ./internal/server/ ./internal/store/ ./internal/client/
 
 # fuzz gives each protocol fuzz target a short budget; CI runs the seed
 # corpus via plain `go test`.
@@ -40,6 +41,24 @@ bench:
 bins:
 	$(GO) build -o bin/cliffhangerd ./cmd/cliffhangerd
 	$(GO) build -o bin/cliffbench ./cmd/cliffbench
+
+# replay is the trace-replay smoke: boot cliffhangerd with the Memcachier
+# tenant layout and drive it with the synthetic Memcachier trace for a couple
+# of seconds (CI runs this after the unit suites).
+replay: bins
+	@set -e; \
+	addr=127.0.0.1:13219; \
+	tenants=$$(./bin/cliffbench -trace memcachier -print-tenants); \
+	./bin/cliffhangerd -addr $$addr -tenants $$tenants & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	sleep 1; \
+	./bin/cliffbench -addr $$addr -trace memcachier -duration 2s -pipeline 8
+
+# verify cross-checks wire-replay hit rates against internal/sim for the
+# same seeded Memcachier trace (also covered by the Go test
+# TestCrossCheckMemcachierSimVsWire).
+verify: bins
+	./bin/cliffbench -trace memcachier -verify -requests 100000 -scale 0.25
 
 clean:
 	rm -rf bin

@@ -1,20 +1,35 @@
-// Command cliffbench is a closed-loop load generator for cliffhangerd: each
-// connection issues one request (or one pipelined batch) at a time over the
-// memcached text protocol, with key popularity drawn from a zipf
-// distribution — the skewed-popularity regime where Cliffhanger's queue
-// re-sizing matters. GET misses are followed by a SET of the same key,
-// modelling the application's read-through fill. -ttl gives every SET an
-// expiry so the TTL reaper is exercised, and -mutate mixes in the
-// read-modify verbs (touch, append, incr) so the full verb set is
-// load-testable.
+// Command cliffbench drives cliffhangerd with any workload the repository
+// knows, over the memcached text protocol. -trace selects the request
+// source: the classic zipf key-popularity load (now supporting any skew
+// s > 0, including the 0.9–1.0 range real cache workloads show), the
+// synthetic Memcachier 20-application trace (each application mapped onto a
+// server tenant), the Facebook-ETC generator, or a recorded trace file.
+// GET misses are demand-filled with a SET of the same key, modelling the
+// application's read-through fill; -ttl gives every SET an expiry and
+// -mutate mixes in the read-modify verbs (touch, append, incr).
 //
-// Example:
+// By default the load is closed-loop (each connection keeps one request or
+// pipelined batch in flight). -rate N switches to open-loop injection: the
+// feeder schedules requests at N req/s on a wall clock and latency is
+// measured from each batch's scheduled send time, so server-side queueing
+// under load shows up in the tail instead of being hidden by coordinated
+// omission.
 //
-//	cliffbench -addr 127.0.0.1:11211 -conns 8 -duration 30s -zipf 1.1 \
-//	    -ttl 60 -mutate 0.05
+// -verify runs the sim-vs-wire cross-check instead of a load test: the same
+// seeded trace is replayed through internal/sim and against an in-process
+// server over a real socket, and per-application hit rates must match
+// within -tolerance. -print-tenants prints the cliffhangerd -tenants value
+// matching the chosen trace.
+//
+// Examples:
+//
+//	cliffbench -addr 127.0.0.1:11211 -conns 8 -duration 30s -zipf 0.9
+//	cliffbench -trace memcachier -duration 30s -rate 50000
+//	cliffbench -trace memcachier -verify
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,134 +41,223 @@ import (
 
 	"cliffhanger/internal/client"
 	"cliffhanger/internal/metrics"
+	"cliffhanger/internal/protocol"
+	"cliffhanger/internal/store"
+	"cliffhanger/internal/trace"
+	"cliffhanger/internal/workload"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:11211", "server address")
-		conns     = flag.Int("conns", 8, "concurrent connections (closed loop, one request in flight each)")
+		traceSpec = flag.String("trace", "zipf", "request source: zipf, facebook, memcachier or file:<path>")
+		conns     = flag.Int("conns", 8, "concurrent connections")
 		duration  = flag.Duration("duration", 10*time.Second, "measurement duration")
-		keys      = flag.Int("keys", 100000, "key-space size")
-		zipfS     = flag.Float64("zipf", 1.1, "zipf skew parameter (>1; larger = more skewed)")
-		valueSize = flag.Int("value", 256, "value size in bytes")
-		getRatio  = flag.Float64("get-ratio", 0.9, "fraction of operations that are GETs")
-		tenant    = flag.String("tenant", "", "tenant to select (empty = server default)")
+		requests  = flag.Int64("requests", 0, "request budget for the trace source (0 = auto)")
+		keys      = flag.Int("keys", 0, "key-space size (0 = source default: 100000 for zipf, 1M for facebook)")
+		zipfS     = flag.Float64("zipf", 1.1, "zipf skew parameter, any s > 0 (zipf trace)")
+		valueSize = flag.Int("value", 256, "value size in bytes (zipf trace)")
+		getRatio  = flag.Float64("get-ratio", 0.9, "fraction of operations that are GETs (zipf trace)")
+		scale     = flag.Float64("scale", 1.0, "memory/key-space scale (memcachier trace)")
+		tenant    = flag.String("tenant", "", "send everything to this tenant instead of mapping trace apps onto app<N> tenants")
 		pipeline  = flag.Int("pipeline", 1, "GETs per pipelined batch (1 = plain request/response)")
-		warm      = flag.Bool("warm", true, "preload every key before measuring")
+		warm      = flag.Bool("warm", true, "preload every key before measuring (zipf trace)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "dial timeout")
 		seed      = flag.Int64("seed", 1, "base RNG seed")
 		ttl       = flag.Int64("ttl", 0, "exptime in seconds applied to every SET (0 = never expire)")
-		mutate    = flag.Float64("mutate", 0, "fraction of operations that are mutation verbs (touch/append/incr)")
+		mutate    = flag.Float64("mutate", 0, "fraction of GETs replaced by mutation verbs (touch/append/incr)")
+		rate      = flag.Float64("rate", 0, "open-loop injection rate in req/s (0 = closed loop)")
+		verify    = flag.Bool("verify", false, "cross-check wire-replay hit rates against internal/sim and exit")
+		tolerance = flag.Float64("tolerance", 0.02, "largest acceptable per-app |wire-sim| hit-rate delta for -verify")
+		modeFlag  = flag.String("mode", "cliffhanger", "allocation mode for -verify: default, cliffhanger, static, global-lru")
+		printTen  = flag.Bool("print-tenants", false, "print the cliffhangerd -tenants value for the chosen trace and exit")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cliffbench: ", 0)
-	if *zipfS <= 1 {
-		logger.Fatal("-zipf must be > 1")
+	if *zipfS <= 0 {
+		logger.Fatal("-zipf must be > 0")
 	}
 	if *pipeline < 1 {
 		*pipeline = 1
 	}
 
-	value := make([]byte, *valueSize)
-	for i := range value {
-		value[i] = byte('a' + i%26)
-	}
-	keyspace := make([]string, *keys)
-	for i := range keyspace {
-		keyspace[i] = fmt.Sprintf("bench-%d", i)
+	opts := workload.Options{
+		Requests:    *requests,
+		Seed:        *seed,
+		Keys:        *keys,
+		ZipfS:       *zipfS,
+		ValueSize:   *valueSize,
+		GetFraction: *getRatio,
+		Scale:       *scale,
 	}
 
-	if *warm {
-		logger.Printf("warming %d keys", *keys)
+	if *printTen {
+		wl := open(logger, *traceSpec, opts)
+		if wl.Apps == nil {
+			logger.Fatalf("trace %s carries no tenant layout", wl.Name)
+		}
+		fmt.Println(workload.TenantSpec(wl.Apps))
+		return
+	}
+
+	if *verify {
+		if opts.Requests <= 0 {
+			opts.Requests = 200000
+		}
+		runVerify(logger, *traceSpec, opts, *modeFlag, *tolerance)
+		return
+	}
+
+	wl := open(logger, *traceSpec, opts)
+	defer wl.Close()
+	// Map multi-app traces onto app<N> server tenants unless the caller
+	// pinned a single tenant.
+	mapApps := len(wl.Apps) > 1 && *tenant == ""
+
+	// payload backs every stored value; content is irrelevant to the cache.
+	payload := make([]byte, protocol.MaxValueLength)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+
+	if *warm && wl.Name == "zipf" {
+		nkeys := *keys
+		if nkeys <= 0 {
+			nkeys = workload.DefaultZipfKeys
+		}
+		logger.Printf("warming %d keys", nkeys)
 		c := dial(logger, *addr, *tenant, *timeout)
+		keyspace := make([]string, nkeys)
+		for i := range keyspace {
+			keyspace[i] = workload.ZipfKey(i)
+		}
+		// Warm values are sized like the replay's own fills (PadValue:
+		// len(key)+len(value) == valueSize), so a warmed key's first re-set
+		// charges the same slab class it was warmed into. Runs of keys that
+		// share a length share one padded value per pipelined batch.
 		const batch = 512
-		for lo := 0; lo < len(keyspace); lo += batch {
-			hi := lo + batch
-			if hi > len(keyspace) {
-				hi = len(keyspace)
+		for lo := 0; lo < len(keyspace); {
+			hi := lo
+			klen := len(keyspace[lo])
+			for hi < len(keyspace) && hi-lo < batch && len(keyspace[hi]) == klen {
+				hi++
 			}
-			if err := c.PipelineSetOptions(keyspace[lo:hi], value, 0, *ttl); err != nil {
+			v := payload[:max(0, *valueSize-klen)]
+			if err := c.PipelineSetOptions(keyspace[lo:hi], v, 0, *ttl); err != nil {
 				logger.Fatalf("warmup: %v", err)
 			}
+			lo = hi
 		}
 		c.Close()
 	}
 
 	var (
-		ops, hits, misses, fills, mutations atomic.Int64
-		lat                                 metrics.LatencyHistogram
-		wg                                  sync.WaitGroup
+		ops, hits, misses, fills, mutations, rejected atomic.Int64
+		lat                                           metrics.LatencyHistogram
+		perApp                                        = metrics.NewSummary()
+		wg                                            sync.WaitGroup
 	)
-	deadline := time.Now().Add(*duration)
-	logger.Printf("running %d conns for %v (zipf=%.2f, pipeline=%d, get-ratio=%.2f, ttl=%ds, mutate=%.2f)",
-		*conns, *duration, *zipfS, *pipeline, *getRatio, *ttl, *mutate)
-	for w := 0; w < *conns; w++ {
+	batchSize := max(*pipeline, 16)
+	batches := make(chan reqBatch, 4**conns)
+	stop := make(chan struct{})
+	timer := time.AfterFunc(*duration, func() { close(stop) })
+	defer timer.Stop()
+
+	// Feeder: the source is single-threaded, so one goroutine reads it and
+	// deals batches to the workers; in open-loop mode each batch carries its
+	// scheduled send time.
+	go func() {
+		defer close(batches)
+		var pace *workload.Pacer
+		if *rate > 0 {
+			pace = workload.NewPacer(time.Now(), *rate)
+		}
+		for {
+			b := reqBatch{reqs: make([]trace.Request, 0, batchSize)}
+			for len(b.reqs) < batchSize {
+				r, ok := wl.Source.Next()
+				if !ok {
+					break
+				}
+				b.reqs = append(b.reqs, r)
+			}
+			if len(b.reqs) == 0 {
+				return
+			}
+			if pace != nil {
+				b.due = pace.Next(len(b.reqs))
+			}
+			select {
+			case batches <- b:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	logger.Printf("running %d conns for %v (trace=%s, pipeline=%d, rate=%.0f, ttl=%ds, mutate=%.2f)",
+		*conns, *duration, wl.Name, *pipeline, *rate, *ttl, *mutate)
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
 		wg.Add(1)
-		go func(worker int) {
+		go func(id int) {
 			defer wg.Done()
-			c := dial(logger, *addr, *tenant, *timeout)
-			defer c.Close()
-			rng := rand.New(rand.NewSource(*seed + int64(worker)))
-			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(keyspace)-1))
-			batch := make([]string, *pipeline)
-			for time.Now().Before(deadline) {
-				roll := rng.Float64()
-				if roll < *mutate {
-					key := keyspace[zipf.Uint64()]
-					start := time.Now()
-					runMutation(logger, c, rng, key, value, *ttl)
-					lat.Record(time.Since(start))
-					ops.Add(1)
-					mutations.Add(1)
-					continue
-				}
-				if roll >= *getRatio {
-					key := keyspace[zipf.Uint64()]
-					start := time.Now()
-					if err := c.SetWithOptions(key, value, 0, *ttl); err != nil {
-						logger.Fatalf("set: %v", err)
+			w := &worker{
+				logger:    logger,
+				c:         dial(logger, *addr, *tenant, *timeout),
+				rng:       rand.New(rand.NewSource(*seed + int64(id))),
+				payload:   payload,
+				pipeline:  *pipeline,
+				mapApps:   mapApps,
+				ttl:       *ttl,
+				mutate:    *mutate,
+				ops:       &ops,
+				hits:      &hits,
+				misses:    &misses,
+				fills:     &fills,
+				mutations: &mutations,
+				rejected:  &rejected,
+				lat:       &lat,
+				perApp:    perApp,
+			}
+			w.onValue = func(i int, _ []byte, _ uint32, _ uint64, _ []byte) { w.hitbuf[i] = true }
+			defer w.c.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				case b, ok := <-batches:
+					if !ok {
+						return
 					}
-					lat.Record(time.Since(start))
-					ops.Add(1)
-					continue
-				}
-				for i := range batch {
-					batch[i] = keyspace[zipf.Uint64()]
-				}
-				start := time.Now()
-				got, err := c.PipelineGet(batch)
-				if err != nil {
-					logger.Fatalf("get: %v", err)
-				}
-				lat.Record(time.Since(start))
-				ops.Add(int64(len(batch)))
-				for _, k := range batch {
-					if _, ok := got[k]; ok {
-						hits.Add(1)
-						continue
-					}
-					misses.Add(1)
-					// Read-through fill: repopulate the missed key.
-					if err := c.SetWithOptions(k, value, 0, *ttl); err != nil {
-						logger.Fatalf("fill: %v", err)
-					}
-					fills.Add(1)
-					ops.Add(1)
+					w.processBatch(b)
 				}
 			}
-		}(w)
+		}(i)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
 
-	elapsed := *duration
 	total := ops.Load()
 	h, m := hits.Load(), misses.Load()
 	hitRate := 0.0
 	if h+m > 0 {
 		hitRate = float64(h) / float64(h+m)
 	}
-	fmt.Printf("ops=%d ops/s=%.0f hit_rate=%.4f fills=%d mutations=%d\n",
-		total, float64(total)/elapsed.Seconds(), hitRate, fills.Load(), mutations.Load())
+	fmt.Printf("ops=%d ops/s=%.0f hit_rate=%.4f fills=%d mutations=%d rejected_sets=%d\n",
+		total, float64(total)/elapsed.Seconds(), hitRate, fills.Load(), mutations.Load(), rejected.Load())
+	if *rate > 0 {
+		// Demand fills ride along with misses but are not scheduled, so the
+		// achieved rate counts trace requests only.
+		fmt.Printf("open loop: target=%.0f req/s achieved=%.0f req/s (latency measured from scheduled send times)\n",
+			*rate, float64(total-fills.Load())/elapsed.Seconds())
+	}
+	if mapApps {
+		for _, label := range perApp.Labels() {
+			c := perApp.Counter(label)
+			fmt.Printf("%s gets=%d hit_rate=%.4f\n", label, c.Total(), c.HitRate())
+		}
+	}
 	// Client-side tail latency per round trip (a pipelined batch counts as
 	// one round trip), so perf changes report their tail, not just
 	// throughput.
@@ -161,34 +265,231 @@ func main() {
 		lat.Count(), lat.Mean(), lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99))
 }
 
-// runMutation issues one mutation verb against key: a TTL refresh (touch), a
-// small append, or an increment of a per-key counter sibling. NOT_FOUND
-// outcomes are normal under eviction and expiry; an append rejected because
-// the value outgrew its slab class is healed by re-setting the key.
-func runMutation(logger *log.Logger, c *client.Client, rng *rand.Rand, key string, value []byte, ttl int64) {
-	switch rng.Intn(3) {
+// reqBatch is one feeder-to-worker unit of work; due is the open-loop
+// scheduled send time (zero in closed-loop mode).
+type reqBatch struct {
+	reqs []trace.Request
+	due  time.Time
+}
+
+// worker owns one connection and its reusable batch state.
+type worker struct {
+	logger   *log.Logger
+	c        *client.Client
+	rng      *rand.Rand
+	payload  []byte
+	pipeline int
+	mapApps  bool
+	ttl      int64
+	mutate   float64
+
+	curApp  int
+	keys    []string
+	hitbuf  []bool
+	onValue client.IndexedValueFunc
+
+	ops, hits, misses, fills, mutations, rejected *atomic.Int64
+	lat                                           *metrics.LatencyHistogram
+	perApp                                        *metrics.Summary
+}
+
+// processBatch replays one batch: runs of consecutive same-app GETs go out
+// as one pipelined streaming batch (the misses demand-filled afterwards),
+// everything else as individual round trips. Latency is recorded per round
+// trip in closed-loop mode, and once per batch from its scheduled send time
+// in open-loop mode.
+func (w *worker) processBatch(b reqBatch) {
+	if !b.due.IsZero() {
+		if d := time.Until(b.due); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	closedLoop := b.due.IsZero()
+	i := 0
+	for i < len(b.reqs) {
+		r := b.reqs[i]
+		if r.Op == trace.OpGet && w.mutate > 0 && w.rng.Float64() < w.mutate {
+			w.selectApp(r.App)
+			start := time.Now()
+			w.runMutation(r)
+			if closedLoop {
+				w.lat.Record(time.Since(start))
+			}
+			w.ops.Add(1)
+			w.mutations.Add(1)
+			i++
+			continue
+		}
+		switch r.Op {
+		case trace.OpGet:
+			j := i
+			w.keys = w.keys[:0]
+			w.hitbuf = w.hitbuf[:0]
+			for j < len(b.reqs) && len(w.keys) < w.pipeline &&
+				b.reqs[j].Op == trace.OpGet && b.reqs[j].App == r.App {
+				w.keys = append(w.keys, b.reqs[j].Key)
+				w.hitbuf = append(w.hitbuf, false)
+				j++
+			}
+			w.selectApp(r.App)
+			start := time.Now()
+			if err := w.c.PipelineGetFunc(w.keys, w.onValue); err != nil {
+				w.logger.Fatalf("get: %v", err)
+			}
+			if closedLoop {
+				w.lat.Record(time.Since(start))
+			}
+			w.ops.Add(int64(len(w.keys)))
+			var batchHits int64
+			for idx := 0; idx < len(w.keys); idx++ {
+				if w.hitbuf[idx] {
+					batchHits++
+					continue
+				}
+				// Read-through fill: repopulate the missed key.
+				w.misses.Add(1)
+				w.fills.Add(1)
+				w.ops.Add(1)
+				w.set(b.reqs[i+idx])
+			}
+			w.hits.Add(batchHits)
+			if w.mapApps {
+				c := w.perApp.Counter(workload.TenantName(r.App))
+				c.AddHits(batchHits)
+				c.AddMisses(int64(len(w.keys)) - batchHits)
+			}
+			i = j
+		case trace.OpSet:
+			w.selectApp(r.App)
+			start := time.Now()
+			w.set(r)
+			if closedLoop {
+				w.lat.Record(time.Since(start))
+			}
+			w.ops.Add(1)
+			i++
+		case trace.OpDelete:
+			w.selectApp(r.App)
+			start := time.Now()
+			if _, err := w.c.Delete(r.Key); err != nil {
+				w.logger.Fatalf("delete: %v", err)
+			}
+			if closedLoop {
+				w.lat.Record(time.Since(start))
+			}
+			w.ops.Add(1)
+			i++
+		default:
+			i++
+		}
+	}
+	if !closedLoop {
+		w.lat.Record(time.Since(b.due))
+	}
+}
+
+// set stores r's key with a value sized to the trace's Size; SETs the server
+// rejects (larger than every slab class) are counted, not fatal — the
+// workload legitimately contains such items and they behave as permanent
+// misses, exactly as in the simulator.
+func (w *worker) set(r trace.Request) {
+	if err := w.c.SetWithOptions(r.Key, workload.PadValue(w.payload, r), 0, w.ttl); err != nil {
+		if errors.Is(err, protocol.ErrRemote) {
+			w.rejected.Add(1)
+			return
+		}
+		w.logger.Fatalf("set: %v", err)
+	}
+}
+
+// selectApp switches the connection to r's tenant when app mapping is on.
+func (w *worker) selectApp(app int) {
+	if !w.mapApps || app == w.curApp {
+		return
+	}
+	if err := w.c.SelectTenant(workload.TenantName(app)); err != nil {
+		w.logger.Fatalf("tenant app%d: %v", app, err)
+	}
+	w.curApp = app
+}
+
+// runMutation issues one mutation verb against r's key: a TTL refresh
+// (touch), a small append, or an increment of a per-key counter sibling.
+// NOT_FOUND outcomes are normal under eviction and expiry; an append
+// rejected because the value outgrew its slab class is healed by re-setting
+// the key.
+func (w *worker) runMutation(r trace.Request) {
+	switch w.rng.Intn(3) {
 	case 0:
-		if _, err := c.Touch(key, ttl); err != nil {
-			logger.Fatalf("touch: %v", err)
+		if _, err := w.c.Touch(r.Key, w.ttl); err != nil {
+			w.logger.Fatalf("touch: %v", err)
 		}
 	case 1:
-		if _, err := c.Append(key, []byte("+")); err != nil {
+		if _, err := w.c.Append(r.Key, []byte("+")); err != nil {
 			// Likely grown past the largest slab class: reset the key.
-			if serr := c.SetWithOptions(key, value, 0, ttl); serr != nil {
-				logger.Fatalf("append: %v (reset: %v)", err, serr)
-			}
+			w.set(r)
 		}
 	default:
-		ctr := key + ".ctr"
-		if _, found, err := c.Incr(ctr, 1); err != nil {
-			logger.Fatalf("incr: %v", err)
+		ctr := r.Key + ".ctr"
+		if _, found, err := w.c.Incr(ctr, 1); err != nil {
+			w.logger.Fatalf("incr: %v", err)
 		} else if !found {
 			// First touch of this counter: seed it.
-			if err := c.SetWithOptions(ctr, []byte("0"), 0, ttl); err != nil {
-				logger.Fatalf("incr seed: %v", err)
+			if err := w.c.SetWithOptions(ctr, []byte("0"), 0, w.ttl); err != nil {
+				w.logger.Fatalf("incr seed: %v", err)
 			}
 		}
 	}
+}
+
+// runVerify executes the sim-vs-wire cross-check and exits non-zero when
+// any application's hit rates diverge past the tolerance.
+func runVerify(logger *log.Logger, spec string, opts workload.Options, modeName string, tolerance float64) {
+	mode, err := parseMode(modeName)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("cross-checking %s (requests=%d seed=%d mode=%s) against internal/sim",
+		spec, opts.Requests, opts.Seed, mode)
+	res, err := workload.CrossCheck(workload.VerifyConfig{
+		Spec:      spec,
+		Options:   opts,
+		Mode:      mode,
+		Tolerance: tolerance,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	for _, a := range res.Apps {
+		fmt.Printf("app%-2d gets=%-8d sim=%.4f wire=%.4f delta=%.4f\n",
+			a.App, a.Requests, a.Sim, a.Wire, a.Delta())
+	}
+	fmt.Printf("overall: sim=%.4f wire=%.4f max_delta=%.4f tolerance=%.4f fills=%d rejected_sets=%d\n",
+		res.SimOverall, res.WireOverall, res.MaxDelta, res.Tolerance, res.Fills, res.RejectedSets)
+	if !res.OK() {
+		fmt.Println("verify: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("verify: PASS")
+}
+
+func parseMode(s string) (store.AllocationMode, error) {
+	for _, m := range []store.AllocationMode{
+		store.AllocDefault, store.AllocCliffhanger, store.AllocStatic, store.AllocGlobalLRU,
+	} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown allocation mode %q", s)
+}
+
+func open(logger *log.Logger, spec string, opts workload.Options) *workload.Workload {
+	wl, err := workload.Open(spec, opts)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	return wl
 }
 
 func dial(logger *log.Logger, addr, tenant string, timeout time.Duration) *client.Client {

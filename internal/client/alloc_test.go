@@ -1,0 +1,68 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"cliffhanger/internal/cache"
+	"cliffhanger/internal/client"
+	"cliffhanger/internal/server"
+	"cliffhanger/internal/store"
+)
+
+// TestAllocGateClientStreamingGet pins the streaming GET path end to end
+// over a real loopback socket (run by `make alloccheck` and CI): a depth-64
+// pipelined batch through PipelineGetFunc must average <= 1 allocation per
+// operation, client and server combined. The server side is 0 on a hit
+// (PR 3's gate) and the streaming client reads keys and values into reusable
+// buffers, so the whole round trip produces no per-value garbage — closing
+// the ROADMAP open item about PipelineGet's ~2 allocs/op.
+func TestAllocGateClientStreamingGet(t *testing.T) {
+	st := store.New(store.Config{
+		DefaultMode:     store.AllocCliffhanger,
+		DefaultPolicy:   cache.PolicyLRU,
+		SyncBookkeeping: true,
+	})
+	t.Cleanup(func() { st.Close() })
+	if err := st.RegisterTenant("default", 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", DefaultTenant: "default"}, st)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := client.Dial(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const depth = 64
+	keys := make([]string, depth)
+	for i := range keys {
+		keys[i] = "stream-key-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	if err := c.PipelineSet(keys, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+
+	var bytesSeen int
+	onValue := func(i int, key []byte, flags uint32, cas uint64, value []byte) {
+		bytesSeen += len(value)
+	}
+	run := func() {
+		if err := c.PipelineGetFunc(keys, onValue); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the client buffers
+	allocs := testing.AllocsPerRun(200, run)
+	if perOp := allocs / depth; perOp > 1 {
+		t.Errorf("streaming pipelined GET allocates %.2f objects/op (%.1f per depth-%d batch), want <= 1 amortized",
+			perOp, allocs, depth)
+	}
+	if bytesSeen == 0 {
+		t.Fatal("callback never saw a value")
+	}
+}

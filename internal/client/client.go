@@ -8,9 +8,12 @@
 //
 // The hot paths share the protocol package's allocation discipline: commands
 // are assembled with strconv appends into a per-client scratch buffer and
-// VALUE response headers are parsed in place with protocol.ParseValueLine,
-// so the per-operation garbage is the returned data slice (owned by the
-// caller) rather than a pile of intermediate strings and field slices.
+// VALUE response headers are parsed in place with protocol.ParseValueLine.
+// The streaming APIs (GetMultiFunc, PipelineGetFunc) deliver each VALUE
+// block through a callback over client-owned reusable buffers — zero
+// per-value garbage, pinned by the client alloc gate — and the convenience
+// forms (Get, Gets, GetMulti, PipelineGet) are built on top of them, paying
+// only for the caller-owned copies they return.
 package client
 
 import (
@@ -35,7 +38,15 @@ type Client struct {
 	// keybuf holds the key of the VALUE block being read: the parsed key
 	// aliases the read buffer, which the payload read then overwrites.
 	keybuf []byte
+	// valbuf holds the payload of the VALUE block being streamed, so the
+	// callback APIs read a batch of any depth without per-value garbage.
+	valbuf []byte
 }
+
+// maxRetainedValue caps valbuf between streaming calls: steady-state values
+// never exceed it, while one outsized VALUE block cannot pin its worst-case
+// memory for the rest of a long-lived connection.
+const maxRetainedValue = 64 << 10
 
 // Dial connects to addr with the given timeout (0 means no timeout).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
@@ -257,27 +268,103 @@ func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, bool, error) 
 	return val, true, nil
 }
 
-// Gets fetches key along with its flags and CAS token.
+// ValueFunc receives one VALUE block of a streamed get response. key and
+// value alias client-owned buffers reused across calls and are valid only
+// for the duration of the callback; callers that retain them must copy.
+type ValueFunc func(key []byte, flags uint32, cas uint64, value []byte)
+
+// IndexedValueFunc receives one VALUE block of a pipelined streaming get
+// along with the index (into the request batch) of the key it answers.
+type IndexedValueFunc func(i int, key []byte, flags uint32, cas uint64, value []byte)
+
+// GetMultiFunc issues one multi-key get (or gets, when withCAS is set) and
+// streams each returned VALUE block to fn without per-value garbage: keys
+// and payloads are read into client-owned buffers reused across calls.
+// Missing keys simply produce no callback.
+func (c *Client) GetMultiFunc(keys []string, withCAS bool, fn ValueFunc) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	c.shedStreamBuffers()
+	verb := "get"
+	if withCAS {
+		verb = "gets"
+	}
+	c.scratch = append(c.scratch[:0], verb...)
+	for _, key := range keys {
+		c.scratch = append(c.scratch, ' ')
+		c.scratch = append(c.scratch, key...)
+	}
+	c.scratch = append(c.scratch, '\r', '\n')
+	if _, err := c.w.Write(c.scratch); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	return c.streamValues(fn)
+}
+
+// PipelineGetFunc issues one single-key get per key in one batch write and a
+// single flush, then streams every VALUE block to fn. Each command carries
+// exactly one key, so the i passed to fn is the exact index into keys of the
+// command being answered (a missing key produces no callback for its index —
+// duplicates in keys are answered once per occurrence). This is the
+// allocation-free counterpart of PipelineGet: no map or data slices are
+// built, so a deep pipelined GET drives the server's zero-allocation path
+// end to end; the client alloc gate pins the round trip at <= 1 amortized
+// allocation per operation.
+func (c *Client) PipelineGetFunc(keys []string, fn IndexedValueFunc) error {
+	c.shedStreamBuffers()
+	for _, key := range keys {
+		c.scratch = append(c.scratch[:0], "get "...)
+		c.scratch = append(c.scratch, key...)
+		c.scratch = append(c.scratch, '\r', '\n')
+		if _, err := c.w.Write(c.scratch); err != nil {
+			return err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	for i := range keys {
+		for {
+			key, flags, cas, value, done, err := c.nextStreamValue()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+			fn(i, key, flags, cas, value)
+		}
+	}
+	return nil
+}
+
+// Gets fetches key along with its flags and CAS token. The returned data is
+// freshly allocated and owned by the caller.
 func (c *Client) Gets(key string) (data []byte, flags uint32, cas uint64, ok bool, err error) {
+	c.shedStreamBuffers()
 	if err := c.writeGet("gets", key); err != nil {
 		return nil, 0, 0, false, err
 	}
-	for {
-		k, f, cs, d, done, err := c.nextValue()
-		if err != nil {
-			return nil, 0, 0, false, err
-		}
-		if done {
-			return data, flags, cas, ok, nil
-		}
+	err = c.streamValues(func(k []byte, f uint32, cs uint64, v []byte) {
 		if string(k) == key {
-			data, flags, cas, ok = d, f, cs, true
+			data = append([]byte(nil), v...)
+			flags, cas, ok = f, cs, true
 		}
+	})
+	if err != nil {
+		return nil, 0, 0, false, err
 	}
+	return data, flags, cas, ok, nil
 }
 
-// Get fetches key, reporting whether it was present.
+// Get fetches key, reporting whether it was present. The returned data is
+// freshly allocated and owned by the caller.
 func (c *Client) Get(key string) ([]byte, bool, error) {
+	c.shedStreamBuffers()
 	if err := c.writeGet("get", key); err != nil {
 		return nil, false, err
 	}
@@ -285,39 +372,26 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 		data  []byte
 		found bool
 	)
-	for {
-		k, _, _, d, done, err := c.nextValue()
-		if err != nil {
-			return nil, false, err
-		}
-		if done {
-			return data, found, nil
-		}
+	err := c.streamValues(func(k []byte, _ uint32, _ uint64, v []byte) {
 		if string(k) == key {
-			data, found = d, true
+			data = append([]byte(nil), v...)
+			found = true
 		}
+	})
+	if err != nil {
+		return nil, false, err
 	}
+	return data, found, nil
 }
 
-// GetMulti fetches several keys in one round trip.
+// GetMulti fetches several keys in one round trip. It is built on
+// GetMultiFunc; the returned map and values are owned by the caller.
 func (c *Client) GetMulti(keys []string) (map[string][]byte, error) {
-	if len(keys) == 0 {
-		return map[string][]byte{}, nil
-	}
-	c.scratch = append(c.scratch[:0], "get"...)
-	for _, key := range keys {
-		c.scratch = append(c.scratch, ' ')
-		c.scratch = append(c.scratch, key...)
-	}
-	c.scratch = append(c.scratch, '\r', '\n')
-	if _, err := c.w.Write(c.scratch); err != nil {
-		return nil, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return nil, err
-	}
 	out := make(map[string][]byte, len(keys))
-	if err := c.readValuesInto(out); err != nil {
+	err := c.GetMultiFunc(keys, false, func(key []byte, _ uint32, _ uint64, value []byte) {
+		out[string(key)] = append([]byte(nil), value...)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -366,24 +440,16 @@ func (c *Client) PipelineSetOptions(keys []string, value []byte, flags uint32, e
 
 // PipelineGet issues one get command per key in a single batch write and a
 // single flush, then reads all responses. Missing keys are absent from the
-// returned map.
+// returned map. It is built on PipelineGetFunc; callers that only need the
+// per-key outcome should use that directly and skip the map and data-slice
+// garbage.
 func (c *Client) PipelineGet(keys []string) (map[string][]byte, error) {
-	for _, key := range keys {
-		c.scratch = append(c.scratch[:0], "get "...)
-		c.scratch = append(c.scratch, key...)
-		c.scratch = append(c.scratch, '\r', '\n')
-		if _, err := c.w.Write(c.scratch); err != nil {
-			return nil, err
-		}
-	}
-	if err := c.w.Flush(); err != nil {
-		return nil, err
-	}
 	out := make(map[string][]byte, len(keys))
-	for range keys {
-		if err := c.readValuesInto(out); err != nil {
-			return nil, err
-		}
+	err := c.PipelineGetFunc(keys, func(_ int, key []byte, _ uint32, _ uint64, value []byte) {
+		out[string(key)] = append([]byte(nil), value...)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -503,10 +569,19 @@ func (c *Client) readLineBytes() ([]byte, error) {
 	return line, nil
 }
 
-// nextValue reads one VALUE block of a get/gets response, or its END
-// terminator (done=true). The returned key is valid until the next read on
-// the connection; data is freshly allocated and owned by the caller.
-func (c *Client) nextValue() (key []byte, flags uint32, cas uint64, data []byte, done bool, err error) {
+// shedStreamBuffers drops streaming scratch an earlier outsized value grew
+// past the retention cap, so one huge VALUE block cannot pin its worst-case
+// memory on a long-lived connection.
+func (c *Client) shedStreamBuffers() {
+	if cap(c.valbuf) > maxRetainedValue {
+		c.valbuf = nil
+	}
+}
+
+// nextStreamValue reads one VALUE block of a get/gets response, or its END
+// terminator (done=true). key and value alias client-owned buffers valid
+// only until the next read on the connection.
+func (c *Client) nextStreamValue() (key []byte, flags uint32, cas uint64, value []byte, done bool, err error) {
 	line, err := c.readLineBytes()
 	if err != nil {
 		return nil, 0, 0, nil, false, err
@@ -520,27 +595,30 @@ func (c *Client) nextValue() (key []byte, flags uint32, cas uint64, data []byte,
 	}
 	// The key aliases the read buffer, which the payload read overwrites.
 	c.keybuf = append(c.keybuf[:0], k...)
-	data = make([]byte, size)
-	if _, err := io.ReadFull(c.r, data); err != nil {
+	if cap(c.valbuf) < size {
+		c.valbuf = make([]byte, size)
+	}
+	value = c.valbuf[:size]
+	if _, err := io.ReadFull(c.r, value); err != nil {
 		return nil, 0, 0, nil, false, err
 	}
 	if _, err := c.r.Discard(2); err != nil { // trailing CRLF
 		return nil, 0, 0, nil, false, err
 	}
-	return c.keybuf, flags, cas, data, false, nil
+	return c.keybuf, flags, cas, value, false, nil
 }
 
-// readValuesInto parses the VALUE blocks of one get response until END,
-// adding each to out.
-func (c *Client) readValuesInto(out map[string][]byte) error {
+// streamValues reads the VALUE blocks of one get/gets response until END,
+// passing each to fn.
+func (c *Client) streamValues(fn ValueFunc) error {
 	for {
-		key, _, _, data, done, err := c.nextValue()
+		key, flags, cas, value, done, err := c.nextStreamValue()
 		if err != nil {
 			return err
 		}
 		if done {
 			return nil
 		}
-		out[string(key)] = data
+		fn(key, flags, cas, value)
 	}
 }

@@ -144,6 +144,73 @@ func TestClientPipelinedBatches(t *testing.T) {
 	}
 }
 
+// TestClientStreamingGetFuncs covers the callback GET APIs the old
+// map-building methods are now built on: PipelineGetFunc must report the
+// exact request index of every VALUE block (including duplicates and with
+// misses interleaved), and GetMultiFunc must stream a single multi-key
+// command with CAS tokens when asked.
+func TestClientStreamingGetFuncs(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+
+	if err := c.SetWithOptions("s1", []byte("one"), 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWithOptions("s2", []byte("two"), 8, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	type hit struct {
+		i     int
+		key   string
+		value string
+		flags uint32
+	}
+	var got []hit
+	keys := []string{"s1", "missing", "s2", "s1"}
+	err := c.PipelineGetFunc(keys, func(i int, key []byte, flags uint32, cas uint64, value []byte) {
+		// key and value alias client buffers: copy before retaining.
+		got = append(got, hit{i, string(key), string(value), flags})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []hit{{0, "s1", "one", 7}, {2, "s2", "two", 8}, {3, "s1", "one", 7}}
+	if len(got) != len(want) {
+		t.Fatalf("callbacks = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("callback %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// GetMultiFunc with CAS: one gets command, tokens present.
+	var tokens int
+	err = c.GetMultiFunc([]string{"s1", "s2", "missing"}, true, func(key []byte, flags uint32, cas uint64, value []byte) {
+		if cas != 0 {
+			tokens++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokens != 2 {
+		t.Fatalf("saw %d CAS tokens, want 2", tokens)
+	}
+
+	// Zero keys: no round trip, no error, and the connection stays in sync.
+	if err := c.GetMultiFunc(nil, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PipelineGetFunc(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get("s1"); err != nil || !ok || string(v) != "one" {
+		t.Fatalf("get after streaming calls = %q %v %v", v, ok, err)
+	}
+}
+
 func TestClientMalformedLineErrors(t *testing.T) {
 	srv := startServer(t)
 	c := dial(t, srv)

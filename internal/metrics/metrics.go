@@ -25,6 +25,12 @@ func (c *HitCounter) Hit() { c.hits.Add(1) }
 // Miss records a miss.
 func (c *HitCounter) Miss() { c.misses.Add(1) }
 
+// AddHits records n hits at once (a pipelined batch's worth).
+func (c *HitCounter) AddHits(n int64) { c.hits.Add(n) }
+
+// AddMisses records n misses at once.
+func (c *HitCounter) AddMisses(n int64) { c.misses.Add(n) }
+
 // Record records an access with the given outcome.
 func (c *HitCounter) Record(hit bool) {
 	if hit {

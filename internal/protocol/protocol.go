@@ -41,7 +41,8 @@ type Command struct {
 	// Keys holds the key arguments (get may carry several). The slices point
 	// into parser-owned buffers.
 	Keys [][]byte
-	// Flags and ExpTime are stored opaquely for the storage verbs and touch.
+	// Flags and ExpTime are stored opaquely for the storage verbs and touch;
+	// ExpTime also carries flush_all's optional delay.
 	Flags   uint32
 	ExpTime int64
 	// CAS is the token argument of the cas verb.
@@ -247,7 +248,27 @@ func (p *Parser) ReadCommand() (*Command, error) {
 			return nil, fmt.Errorf("protocol: tenant needs exactly one name")
 		}
 		cmd.Tenant = string(name)
-	case VerbStats, VerbFlushAll, VerbVersion:
+	case VerbFlushAll:
+		// flush_all [delay] [noreply] — memcached's optional delayed-flush
+		// form. The delay rides in ExpTime (it is converted with the same
+		// relative/absolute rules as an exptime).
+		tok, rest2 := nextToken(rest)
+		if len(tok) != 0 && string(tok) != noreplyToken {
+			n, ok := parseInt(tok)
+			if !ok {
+				return nil, fmt.Errorf("protocol: bad flush_all delay %q", tok)
+			}
+			cmd.ExpTime = n
+			tok, rest2 = nextToken(rest2)
+		}
+		if string(tok) == noreplyToken {
+			cmd.NoReply = true
+			tok, _ = nextToken(rest2)
+		}
+		if len(tok) != 0 {
+			return nil, fmt.Errorf("protocol: flush_all takes [delay] [noreply], got %q", tok)
+		}
+	case VerbStats, VerbVersion:
 		// no arguments needed
 	case VerbQuit:
 		return nil, ErrQuit
@@ -596,9 +617,16 @@ func ParseValueLine(line []byte) (key []byte, flags uint32, size int, cas uint64
 	return key, uint32(f), int(sz), cas, withCAS, nil
 }
 
+// ErrRemote marks an error the server reported in-band (ERROR, SERVER_ERROR,
+// CLIENT_ERROR). The connection stays in sync after one — exactly one
+// response line was consumed — so callers like the load generator can count
+// and continue (e.g. a SET rejected as larger than every slab class) instead
+// of tearing the connection down.
+var ErrRemote = errors.New("protocol: server reported an error")
+
 // ParseResponseLine classifies a simple one-line response (STORED, DELETED,
 // NOT_FOUND, ERROR ...). EXISTS (a lost cas race) and NOT_STORED are
-// negative outcomes, not errors.
+// negative outcomes, not errors; server-reported errors wrap ErrRemote.
 func ParseResponseLine(line string) (ok bool, err error) {
 	switch {
 	case line == "STORED" || line == "DELETED" || line == "OK" || line == "TENANT" || line == "TOUCHED":
@@ -606,7 +634,7 @@ func ParseResponseLine(line string) (ok bool, err error) {
 	case line == "NOT_FOUND" || line == "NOT_STORED" || line == "EXISTS":
 		return false, nil
 	case strings.HasPrefix(line, "ERROR") || strings.HasPrefix(line, "SERVER_ERROR") || strings.HasPrefix(line, "CLIENT_ERROR"):
-		return false, fmt.Errorf("protocol: server error: %s", line)
+		return false, fmt.Errorf("%w: %s", ErrRemote, line)
 	default:
 		return false, fmt.Errorf("protocol: unexpected response %q", line)
 	}

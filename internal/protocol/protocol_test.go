@@ -87,6 +87,34 @@ func TestReadCommandDeleteAndTenant(t *testing.T) {
 	}
 }
 
+// TestReadCommandFlushAllArguments covers memcached's optional flush_all
+// forms: a delay, noreply, or both — the zero-arg parse above stays the
+// common case.
+func TestReadCommandFlushAllArguments(t *testing.T) {
+	cmd, err := parse("flush_all 5\r\n")
+	if err != nil || cmd.ExpTime != 5 || cmd.NoReply {
+		t.Fatalf("flush_all 5: %+v %v", cmd, err)
+	}
+	cmd, err = parse("flush_all noreply\r\n")
+	if err != nil || cmd.ExpTime != 0 || !cmd.NoReply {
+		t.Fatalf("flush_all noreply: %+v %v", cmd, err)
+	}
+	cmd, err = parse("flush_all 30 noreply\r\n")
+	if err != nil || cmd.ExpTime != 30 || !cmd.NoReply {
+		t.Fatalf("flush_all 30 noreply: %+v %v", cmd, err)
+	}
+	for _, in := range []string{
+		"flush_all bogus\r\n",
+		"flush_all 5 bogus\r\n",
+		"flush_all 5 noreply extra\r\n",
+		"flush_all noreply 5\r\n",
+	} {
+		if _, err := parse(in); err == nil {
+			t.Errorf("ReadCommand(%q) should fail", in)
+		}
+	}
+}
+
 func TestReadCommandMalformed(t *testing.T) {
 	cases := []string{
 		"\r\n",    // empty command

@@ -245,7 +245,14 @@ func (s *Server) handle(c *session, cmd *protocol.Command) error {
 	case protocol.VerbStats:
 		return s.handleStats(c)
 	case protocol.VerbFlushAll:
-		if err := s.store.FlushTenant(c.tenant); err != nil {
+		// cmd.ExpTime carries the optional delay: 0 flushes immediately, a
+		// future deadline invalidates items last written before it once it
+		// passes (memcached flush_all semantics).
+		err := s.store.FlushAll(c.tenant, cmd.ExpTime)
+		if cmd.NoReply {
+			return nil
+		}
+		if err != nil {
 			return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
 		}
 		return protocol.WriteLine(c.w, "OK")

@@ -476,7 +476,93 @@ func TestServerProtocolConformance(t *testing.T) {
 	send("set quiet 0 0 1 noreply\r\nq\r\nget quiet\r\n")
 	expect("VALUE quiet 0 1", "q", "END")
 
+	// flush_all optional arguments: a delay is accepted (and arms a delayed
+	// flush rather than clearing anything now)...
+	send("flush_all 30\r\n")
+	expect("OK")
+	send("get quiet\r\n")
+	expect("VALUE quiet 0 1", "q", "END")
+	// ...noreply suppresses the OK, and the flush still executes — the very
+	// next command's response is the first thing on the wire.
+	send("flush_all noreply\r\nget quiet\r\n")
+	expect("END")
+	// Combined form.
+	send("flush_all 10 noreply\r\nversion\r\n")
+	line, err = r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "VERSION ") {
+		t.Fatalf("response after flush_all 10 noreply = %q %v", line, err)
+	}
+	// A malformed delay draws CLIENT_ERROR and keeps the session usable.
+	send("flush_all soon\r\n")
+	line, err = r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "CLIENT_ERROR") {
+		t.Fatalf("flush_all soon = %q %v", line, err)
+	}
+
 	send("quit\r\n")
+}
+
+// TestServerDelayedFlushAllEndToEnd drives the delayed flush_all semantics
+// over the wire with a stubbed clock: items last written before the deadline
+// (even ones set after the command) die exactly when it passes; later writes
+// survive.
+func TestServerDelayedFlushAllEndToEnd(t *testing.T) {
+	clock := time.Now().Unix()
+	var offset atomic.Int64
+	st := store.New(store.Config{
+		DefaultMode:     store.AllocDefault,
+		DefaultPolicy:   cache.PolicyLRU,
+		SyncBookkeeping: true,
+		Now:             func() int64 { return clock + offset.Load() },
+	})
+	if err := st.RegisterTenant("default", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Addr: "127.0.0.1:0", DefaultTenant: "default"}, st)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); st.Close() })
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	send := func(s string) {
+		t.Helper()
+		if _, err := conn.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(want ...string) {
+		t.Helper()
+		for _, w := range want {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("reading response (want %q): %v", w, err)
+			}
+			if got := strings.TrimRight(line, "\r\n"); got != w {
+				t.Fatalf("response = %q, want %q", got, w)
+			}
+		}
+	}
+
+	send("set before 0 0 1\r\nb\r\n")
+	expect("STORED")
+	send("flush_all 5\r\n")
+	expect("OK")
+	send("get before\r\n")
+	expect("VALUE before 0 1", "b", "END")
+	send("set during 0 0 1\r\nd\r\n")
+	expect("STORED")
+
+	offset.Store(5)
+	send("get before\r\nget during\r\n")
+	expect("END", "END")
+	send("set after 0 0 1\r\na\r\nget after\r\n")
+	expect("STORED", "VALUE after 0 1", "a", "END")
 }
 
 // TestServerExpiryEndToEnd checks that expired items are never served over

@@ -135,8 +135,18 @@ func MissReduction(baseline, result *AppResult) float64 {
 	return float64(baseline.Misses-result.Misses) / float64(baseline.Misses)
 }
 
-// Run replays src through tenants configured per cfg.
-func Run(cfg Config, src trace.Source) (*Result, error) {
+// TenantName is the canonical tenant name for application id: the name Run
+// gives its tenants and the wire-replay cross-check registers on a real
+// server.
+func TenantName(id int) string { return fmt.Sprintf("app%d", id) }
+
+// TenantConfigs returns the per-application tenant configuration Run builds:
+// name TenantName(ID), the scaled/overridden memory reservation, shared
+// geometry, allocation mode, eviction policy and Cliffhanger settings. It is
+// exported so the wire-replay cross-check harness (internal/workload) can
+// register tenants on a real server that are configured identically to the
+// simulator's.
+func TenantConfigs(cfg Config) (map[int]store.TenantConfig, error) {
 	if len(cfg.Apps) == 0 {
 		return nil, fmt.Errorf("sim: no applications configured")
 	}
@@ -152,10 +162,7 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 	if ch.CreditBytes == 0 {
 		ch = core.DefaultConfig()
 	}
-
-	tenants := make(map[int]*store.Tenant, len(cfg.Apps))
-	results := make(map[int]*AppResult, len(cfg.Apps))
-	windows := make(map[int]*metrics.WindowedHitRate)
+	out := make(map[int]store.TenantConfig, len(cfg.Apps))
 	for _, app := range cfg.Apps {
 		memory := app.MemoryMB << 20
 		if override, ok := cfg.AppMemoryOverride[app.ID]; ok {
@@ -166,7 +173,7 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 			memory = geom.PageSize
 		}
 		tcfg := store.TenantConfig{
-			Name:        fmt.Sprintf("app%d", app.ID),
+			Name:        TenantName(app.ID),
 			MemoryBytes: memory,
 			Geometry:    geom,
 			Mode:        cfg.Mode,
@@ -176,6 +183,23 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 		if cfg.Mode == store.AllocStatic {
 			tcfg.StaticClassBytes = cfg.StaticAllocations[app.ID]
 		}
+		out[app.ID] = tcfg
+	}
+	return out, nil
+}
+
+// Run replays src through tenants configured per cfg.
+func Run(cfg Config, src trace.Source) (*Result, error) {
+	tcfgs, err := TenantConfigs(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	tenants := make(map[int]*store.Tenant, len(cfg.Apps))
+	results := make(map[int]*AppResult, len(cfg.Apps))
+	windows := make(map[int]*metrics.WindowedHitRate)
+	for _, app := range cfg.Apps {
+		tcfg := tcfgs[app.ID]
 		tenant, err := store.NewTenant(tcfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: app %d: %v", app.ID, err)
@@ -183,7 +207,7 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 		tenants[app.ID] = tenant
 		results[app.ID] = &AppResult{
 			App:         app.ID,
-			MemoryBytes: memory,
+			MemoryBytes: tcfg.MemoryBytes,
 			Classes:     make(map[int]*ClassResult),
 		}
 		if cfg.WindowSize > 0 {

@@ -291,12 +291,14 @@ func (b *bookkeeper) drainLoop() {
 }
 
 // reap is the incremental background expiry pass: each drain tick it scans
-// the next few value shards, drops records whose TTL lapsed, and buffers an
-// expiry event for each so the structural removal replays in arrival order
-// with the shard's other pending events. Synchronous stores have no drain
-// goroutine and rely on the lazy expiry check on the read path alone.
+// the next few value shards, drops records whose TTL lapsed (or that a
+// delayed flush_all deadline killed), and buffers an expiry event for each
+// so the structural removal replays in arrival order with the shard's other
+// pending events. Synchronous stores have no drain goroutine and rely on the
+// lazy dead check on the read path alone.
 func (b *bookkeeper) reap() {
 	now := b.now()
+	flushAt := b.entry.flushAt.Load()
 	shards := b.entry.shards
 	for n := 0; n < reapShardsPerTick && n < len(shards); n++ {
 		sh := &shards[b.reapCursor]
@@ -306,7 +308,7 @@ func (b *bookkeeper) reap() {
 		sh.mu.Lock()
 		scanned := 0
 		for key, it := range sh.items {
-			if it.expiredAt(now) {
+			if it.deadAt(now, flushAt) {
 				delete(sh.items, key)
 				ev := event{kind: evExpire, key: key, size: it.size}
 				acts = append(acts, b.bufferLocked(sh, &ev))

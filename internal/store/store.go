@@ -77,6 +77,10 @@ type item struct {
 	// expires is the expiry deadline in unix seconds; 0 means never.
 	// Negative deadlines (exptime < 0 on the wire) are already expired.
 	expires int64
+	// setAt is the unix second of the record's last mutation: the timestamp
+	// a delayed flush_all compares against (items last written before the
+	// flush deadline die once it passes; later writes survive).
+	setAt int64
 	// seq is the bookkeeping sequence of the record's last mutation and
 	// pendingAdmit is true while that mutation's admission event has not
 	// been replayed yet. Eviction replay spares records with a pending
@@ -90,6 +94,16 @@ type item struct {
 // expiredAt reports whether the record's TTL has lapsed at the given clock.
 func (it *item) expiredAt(now int64) bool {
 	return it.expires != 0 && now >= it.expires
+}
+
+// deadAt reports whether the record is invalid at now: its TTL lapsed, or a
+// delayed flush_all deadline (flushAt, 0 = none armed) has passed that
+// postdates the record's last write — memcached's oldest_live rule.
+func (it *item) deadAt(now, flushAt int64) bool {
+	if it.expiredAt(now) {
+		return true
+	}
+	return flushAt != 0 && now >= flushAt && it.setAt < flushAt
 }
 
 // valueShard is one stripe of a tenant's item directory plus its bookkeeping
@@ -117,6 +131,10 @@ type tenantEntry struct {
 	bk     *bookkeeper
 	shards []valueShard
 	mask   uint64
+	// flushAt is the armed delayed-flush deadline in unix seconds (0 = none):
+	// records last written before it become invalid once it passes. Read
+	// lock-free on the hot path.
+	flushAt atomic.Int64
 }
 
 func (e *tenantEntry) shardFor(key string) *valueShard {
@@ -167,7 +185,7 @@ func (e *tenantEntry) markAdmitted(key string, seq uint64) {
 // hold sh.mu. prev may be an expired record: its structural entry is still
 // resident until an expiry or re-admit event removes it, so its size must be
 // accounted the same way a live one's is.
-func (e *tenantEntry) setLocked(sh *valueShard, key string, prev *item, value []byte, flags uint32, expires int64) event {
+func (e *tenantEntry) setLocked(sh *valueShard, key string, prev *item, value []byte, flags uint32, expires, now int64) event {
 	sh.casCounter++
 	it := &item{
 		key:     key,
@@ -176,6 +194,7 @@ func (e *tenantEntry) setLocked(sh *valueShard, key string, prev *item, value []
 		cas:     sh.casCounter,
 		size:    int64(len(key) + len(value)),
 		expires: expires,
+		setAt:   now,
 	}
 	sh.items[key] = it
 	if prev != nil && prev.size != it.size {
@@ -380,16 +399,29 @@ func (s *Store) deadline(exptime int64) int64 {
 	}
 }
 
-// liveLocked returns key's record if present and unexpired. A dead record is
-// removed and its expiry event appended to evs/acts; the caller must hold
-// sh.mu, and after unlocking must pass every appended event to bk.finish.
-// The clock is only consulted for records that can expire at all.
+// deadNow is the hot-path dead check for a record: TTL expiry or a passed
+// delayed-flush deadline. The clock is read only when the record can expire
+// at all or a delayed flush is armed, so the steady-state GET of a
+// never-expiring key costs one atomic load.
+func (s *Store) deadNow(e *tenantEntry, it *item) bool {
+	fa := e.flushAt.Load()
+	if it.expires == 0 && fa == 0 {
+		return false
+	}
+	return it.deadAt(s.cfg.Now(), fa)
+}
+
+// liveLocked returns key's record if present and not dead (TTL lapsed or
+// flushed). A dead record is removed and its expiry event appended to
+// evs/acts; the caller must hold sh.mu, and after unlocking must pass every
+// appended event to bk.finish. The clock is only consulted for records that
+// can die at all.
 func (s *Store) liveLocked(e *tenantEntry, sh *valueShard, key string, evs *[]event, acts *[]recordAction) *item {
 	it := sh.items[key]
 	if it == nil {
 		return nil
 	}
-	if it.expires == 0 || !it.expiredAt(s.cfg.Now()) {
+	if !s.deadNow(e, it) {
 		return it
 	}
 	ev := expireLocked(sh, key, it)
@@ -430,7 +462,7 @@ func (s *Store) GetItem(tenant, key string) (Item, bool, error) {
 	sh := e.shardFor(key)
 	sh.mu.Lock()
 	it := sh.items[key]
-	if it != nil && it.expires != 0 && it.expiredAt(s.cfg.Now()) {
+	if it != nil && s.deadNow(e, it) {
 		// Slow path: shed the dead record, then account the miss.
 		exp := expireLocked(sh, key, it)
 		expAct := e.bk.bufferLocked(sh, &exp)
@@ -480,7 +512,7 @@ func (s *Store) GetItemBytes(tenant string, key []byte) (Item, bool, error) {
 	sh := e.shardForBytes(key)
 	sh.mu.Lock()
 	it := sh.items[string(key)]
-	if it != nil && it.expires != 0 && it.expiredAt(s.cfg.Now()) {
+	if it != nil && s.deadNow(e, it) {
 		// Slow path: shed the dead record, then account the miss. The dead
 		// record's interned key serves both events.
 		exp := expireLocked(sh, it.key, it)
@@ -568,7 +600,7 @@ func (s *Store) SetItemBytes(tenant string, key, value []byte, flags uint32, exp
 // consulted even if expired — its structural entry is still resident, so the
 // re-admit must shed it. The caller must hold sh.mu, which is released here.
 func (s *Store) commitSetLocked(e *tenantEntry, sh *valueShard, tenant, key string, prev *item, value []byte, flags uint32, exptime int64) error {
-	ev := e.setLocked(sh, key, prev, value, flags, s.deadline(exptime))
+	ev := e.setLocked(sh, key, prev, value, flags, s.deadline(exptime), s.cfg.Now())
 	act := e.bufferMutationLocked(sh, &ev)
 	sh.mu.Unlock()
 	e.bk.finish(sh, ev, act)
@@ -639,7 +671,7 @@ func (s *Store) mutate(tenant, key string, decide func(live *item) (value []byte
 	// A record liveLocked shed is already structurally re-admitted via its
 	// expiry event plus this fresh admit; a surviving one is re-admitted
 	// with its old charge attached.
-	ev := e.setLocked(sh, key, it, value, flags, expires)
+	ev := e.setLocked(sh, key, it, value, flags, expires, s.cfg.Now())
 	if err := s.storeMutation(e, sh, tenant, ev, evs, acts); err != nil {
 		return false, err
 	}
@@ -811,12 +843,43 @@ func (s *Store) Delete(tenant, key string) (bool, error) {
 	return it != nil, nil
 }
 
-// FlushTenant removes every entry of the tenant.
+// FlushAll implements the memcached flush_all verb for one tenant: with
+// exptime 0 (or a deadline already in the past) every current item is
+// invalidated immediately; a future deadline arms a delayed flush under
+// which items last written before the deadline become invalid once it
+// passes, while items written after it survive (memcached's oldest_live
+// rule). A later flush_all of either kind replaces any pending one. Records
+// a delayed flush kills are shed lazily on access and by the background
+// reaper, counting as Expired.
+func (s *Store) FlushAll(tenant string, exptime int64) error {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return ErrNoTenant{tenant}
+	}
+	at := s.deadline(exptime)
+	if at != 0 && at > s.cfg.Now() {
+		e.flushAt.Store(at)
+		return nil
+	}
+	return s.flushNow(e)
+}
+
+// FlushTenant removes every entry of the tenant immediately, cancelling any
+// pending delayed flush.
 func (s *Store) FlushTenant(tenant string) error {
 	e, ok := s.entry(tenant)
 	if !ok {
 		return ErrNoTenant{tenant}
 	}
+	return s.flushNow(e)
+}
+
+// flushNow physically removes every record of the tenant. The pending
+// delayed-flush deadline (if any) is cleared first: memcached's flush_all
+// replaces an armed deadline, so items written after this call must survive
+// the old one.
+func (s *Store) flushNow(e *tenantEntry) error {
+	e.flushAt.Store(0)
 	// Settle in-flight bookkeeping so the structural removals below see
 	// every admission.
 	e.bk.flush()

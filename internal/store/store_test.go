@@ -361,6 +361,110 @@ func TestStoreFlushTenant(t *testing.T) {
 	}
 }
 
+// TestStoreDelayedFlushAll pins the memcached flush_all <delay> semantics:
+// nothing dies before the deadline; once it passes, every item last written
+// before it is invalid — including items written after the command — while
+// items written after the deadline survive. A later flush_all replaces the
+// pending one.
+func TestStoreDelayedFlushAll(t *testing.T) {
+	clock := int64(1000)
+	s := New(Config{
+		DefaultMode:     AllocCliffhanger,
+		SyncBookkeeping: true,
+		Now:             func() int64 { return clock },
+	})
+	defer s.Close()
+	s.RegisterTenant("app", 4<<20)
+
+	s.Set("app", "before", []byte("v"))
+	if err := s.FlushAll("app", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("app", "before"); !ok {
+		t.Fatalf("item must survive until the flush deadline")
+	}
+	// Written after the command but before the deadline: dies at the
+	// deadline, per memcached's oldest_live rule.
+	clock = 1002
+	s.Set("app", "during", []byte("v"))
+
+	clock = 1005 // deadline reached
+	if _, ok, _ := s.Get("app", "before"); ok {
+		t.Fatalf("item from before the flush must be invalid after the deadline")
+	}
+	if _, ok, _ := s.Get("app", "during"); ok {
+		t.Fatalf("item written before the deadline must be invalid too")
+	}
+	s.Set("app", "after", []byte("v"))
+	if _, ok, _ := s.Get("app", "after"); !ok {
+		t.Fatalf("item written after the deadline must survive")
+	}
+	st, _ := s.Stats("app")
+	if st.Expired < 2 {
+		t.Fatalf("flush-killed records should count as expired, got %d", st.Expired)
+	}
+
+	// A replacement flush supersedes the pending one: arm a far deadline,
+	// then flush immediately — the pending deadline must be cleared so new
+	// writes survive it.
+	if err := s.FlushAll("app", 3600); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FlushAll("app", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Set("app", "fresh", []byte("v"))
+	clock = 1005 + 3600
+	if _, ok, _ := s.Get("app", "fresh"); !ok {
+		t.Fatalf("immediate flush must cancel the pending delayed deadline")
+	}
+
+	// Mutations see the flush too: a dead record is not appendable.
+	clock = 10000
+	s.Set("app", "mut", []byte("v"))
+	if err := s.FlushAll("app", 5); err != nil {
+		t.Fatal(err)
+	}
+	clock = 10005
+	if ok, _ := s.Append("app", "mut", []byte("x")); ok {
+		t.Fatalf("append must miss a flush-killed record")
+	}
+	if err := s.FlushAll("ghost", 5); err == nil {
+		t.Fatalf("flush of unknown tenant should error")
+	}
+}
+
+// TestStoreDelayedFlushReaper checks the background reaper sheds
+// flush-killed records without any read touching them.
+func TestStoreDelayedFlushReaper(t *testing.T) {
+	clock := atomic.Int64{}
+	clock.Store(100)
+	s := New(Config{
+		DefaultMode: AllocCliffhanger,
+		Now:         func() int64 { return clock.Load() },
+	})
+	defer s.Close()
+	s.RegisterTenant("app", 4<<20)
+	for i := 0; i < 200; i++ {
+		s.Set("app", fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if err := s.FlushAll("app", 5); err != nil {
+		t.Fatal(err)
+	}
+	clock.Store(105)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n, _ := s.Items("app")
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper left %d flush-killed items", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestStoreConcurrentAccess(t *testing.T) {
 	s := New(Config{DefaultMode: AllocCliffhanger})
 	for i := 0; i < 4; i++ {

@@ -29,6 +29,13 @@ var binaryMagic = [4]byte{'C', 'L', 'F', 'T'}
 
 const binaryVersion = 1
 
+// SniffBinary reports whether prefix (at least the first 4 bytes of a file)
+// starts with the binary trace magic, so callers can pick between the binary
+// and CSV readers without trial parsing.
+func SniffBinary(prefix []byte) bool {
+	return len(prefix) >= 4 && [4]byte(prefix[:4]) == binaryMagic
+}
+
 // Writer serializes requests to the binary trace format.
 type Writer struct {
 	w       *bufio.Writer

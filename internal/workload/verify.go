@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"cliffhanger/internal/client"
+	"cliffhanger/internal/protocol"
+	"cliffhanger/internal/server"
+	"cliffhanger/internal/sim"
+	"cliffhanger/internal/store"
+	"cliffhanger/internal/trace"
+)
+
+// This file is the sim-vs-wire cross-check: the proof that the full
+// protocol/server/store stack reproduces the hit-rate curves internal/sim
+// computes, rather than the simulator alone. The same seeded workload is
+// replayed twice — once through sim.Run's trace-driven engine, once over a
+// real TCP socket against an in-process server whose tenants are configured
+// identically (sim.TenantConfigs) — and per-application GET hit rates are
+// compared.
+//
+// The wire replay mirrors the simulator's demand-fill semantics: a GET miss
+// is followed by a SET of the same key, and values are padded so the charged
+// size (len(key)+len(value)) equals the trace's Size — the size the
+// simulator accounts — so both engines map every item to the same slab
+// class. Replay is a single connection against a SyncBookkeeping store, so
+// the wire side is deterministic. The two paths are not bit-identical by
+// construction (the simulator's combined lookup+fill applies pending page
+// grants on hits during warm-up, where the wire path grows only on the SET
+// that follows a miss), hence a tolerance rather than equality.
+
+// VerifyConfig configures CrossCheck.
+type VerifyConfig struct {
+	// Spec and Options select the workload, as for Open. The spec must carry
+	// a tenant layout (zipf, facebook, memcachier — not file).
+	Spec    string
+	Options Options
+	// Mode is the allocation policy both engines run. The zero value is
+	// store.AllocDefault (first-come-first-serve slab allocation), like
+	// everywhere else in the repository.
+	Mode store.AllocationMode
+	// Tolerance is the largest acceptable |wire - sim| per-application
+	// hit-rate difference (default 0.02).
+	Tolerance float64
+}
+
+// VerifyApp is one application's pair of hit rates.
+type VerifyApp struct {
+	App      int
+	Requests int64
+	Sim      float64
+	Wire     float64
+}
+
+// Delta returns |Wire - Sim|.
+func (a VerifyApp) Delta() float64 { return math.Abs(a.Wire - a.Sim) }
+
+// VerifyResult is the outcome of a CrossCheck run.
+type VerifyResult struct {
+	Apps                    []VerifyApp
+	SimOverall, WireOverall float64
+	// MaxDelta is the largest per-app hit-rate difference (apps that saw no
+	// GETs are skipped).
+	MaxDelta  float64
+	Tolerance float64
+	// Fills counts the wire replay's demand fills (one per GET miss);
+	// RejectedSets counts SETs the server refused as larger than every slab
+	// class — the simulator treats such items as permanent misses, and so,
+	// by construction, does the wire replay.
+	Fills, RejectedSets int64
+}
+
+// OK reports whether every application matched within tolerance.
+func (r *VerifyResult) OK() bool { return r.MaxDelta <= r.Tolerance }
+
+// CrossCheck replays the same seeded workload through internal/sim and over
+// a real socket, returning the per-application hit-rate comparison.
+func CrossCheck(cfg VerifyConfig) (*VerifyResult, error) {
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 0.02
+	}
+
+	// Simulator side.
+	wl, err := Open(cfg.Spec, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer wl.Close()
+	if wl.Apps == nil {
+		return nil, fmt.Errorf("workload: %s traces carry no tenant layout to verify against", wl.Name)
+	}
+	simCfg := sim.Config{Apps: wl.Apps, Mode: cfg.Mode}
+	simRes, err := sim.Run(simCfg, wl.Source)
+	if err != nil {
+		return nil, err
+	}
+
+	// Wire side: identically-seeded source, identically-configured tenants,
+	// deterministic (synchronous) bookkeeping, one connection.
+	wl2, err := Open(cfg.Spec, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer wl2.Close()
+	tcfgs, err := sim.TenantConfigs(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	st := store.New(store.Config{SyncBookkeeping: true})
+	defer st.Close()
+	for _, app := range wl.Apps {
+		if err := st.RegisterTenantConfig(tcfgs[app.ID]); err != nil {
+			return nil, err
+		}
+	}
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", DefaultTenant: sim.TenantName(wl.Apps[0].ID)}, st)
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	c, err := client.Dial(srv.Addr(), 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	type counter struct{ hits, reqs int64 }
+	counts := make(map[int]*counter, len(wl.Apps))
+	for _, app := range wl.Apps {
+		counts[app.ID] = &counter{}
+	}
+	res := &VerifyResult{Tolerance: cfg.Tolerance}
+	payload := make([]byte, protocol.MaxValueLength)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	fill := func(r trace.Request) error {
+		err := c.SetWithOptions(r.Key, PadValue(payload, r), 0, 0)
+		if errors.Is(err, protocol.ErrRemote) {
+			// Too large for every slab class: a permanent miss on both
+			// engines, not a replay failure.
+			res.RejectedSets++
+			return nil
+		}
+		return err
+	}
+
+	curApp := wl.Apps[0].ID
+	var (
+		found   bool
+		keybuf  = make([]string, 1)
+		onValue = func(int, []byte, uint32, uint64, []byte) { found = true }
+	)
+	for {
+		r, ok := wl2.Source.Next()
+		if !ok {
+			break
+		}
+		cnt := counts[r.App]
+		if cnt == nil {
+			continue // request for an app outside the layout, as in sim.Run
+		}
+		if r.App != curApp {
+			if err := c.SelectTenant(sim.TenantName(r.App)); err != nil {
+				return nil, err
+			}
+			curApp = r.App
+		}
+		switch r.Op {
+		case trace.OpDelete:
+			if _, err := c.Delete(r.Key); err != nil {
+				return nil, err
+			}
+		case trace.OpSet:
+			if err := fill(r); err != nil {
+				return nil, err
+			}
+		default:
+			keybuf[0] = r.Key
+			found = false
+			if err := c.PipelineGetFunc(keybuf, onValue); err != nil {
+				return nil, err
+			}
+			cnt.reqs++
+			if found {
+				cnt.hits++
+			} else {
+				// Demand fill, mirroring the simulator's miss semantics.
+				res.Fills++
+				if err := fill(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	var totalHits, totalReqs int64
+	for _, app := range wl.Apps {
+		cnt := counts[app.ID]
+		ar := simRes.App(app.ID)
+		va := VerifyApp{App: app.ID, Requests: cnt.reqs}
+		if ar != nil {
+			va.Sim = ar.HitRate()
+			if ar.Requests != cnt.reqs {
+				return nil, fmt.Errorf("workload: app %d replay diverged: sim saw %d GETs, wire saw %d",
+					app.ID, ar.Requests, cnt.reqs)
+			}
+		}
+		if cnt.reqs > 0 {
+			va.Wire = float64(cnt.hits) / float64(cnt.reqs)
+			if d := va.Delta(); d > res.MaxDelta {
+				res.MaxDelta = d
+			}
+		}
+		totalHits += cnt.hits
+		totalReqs += cnt.reqs
+		res.Apps = append(res.Apps, va)
+	}
+	res.SimOverall = simRes.HitRate()
+	if totalReqs > 0 {
+		res.WireOverall = float64(totalHits) / float64(totalReqs)
+	}
+	return res, nil
+}
+
+// PadValue sizes a stored value so the server's charged size
+// (len(key)+len(value)) equals the trace's Size — the size the simulator
+// accounts — clamped to [0, len(payload)]. The replayers share it so wire
+// admissions land in the same slab class as the simulator's.
+func PadValue(payload []byte, r trace.Request) []byte {
+	n := r.Size - int64(len(r.Key))
+	if n < 0 {
+		n = 0
+	}
+	if n > int64(len(payload)) {
+		n = int64(len(payload))
+	}
+	return payload[:n]
+}

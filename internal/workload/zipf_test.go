@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfSupportsLowSkew is the regression test for the -zipf <= 1
+// limitation: the rejection-inversion sampler must produce a sane, skewed
+// distribution for exponents math/rand.Zipf rejects (real cache workloads
+// sit around s ≈ 0.9–1.0).
+func TestZipfSupportsLowSkew(t *testing.T) {
+	for _, s := range []float64{0.5, 0.9, 1.0, 1.1, 1.4} {
+		const n = 1000
+		z := NewZipf(rand.New(rand.NewSource(1)), s, n)
+		freq := make([]int, n)
+		const samples = 200000
+		for i := 0; i < samples; i++ {
+			r := z.Uint64()
+			if r >= n {
+				t.Fatalf("s=%v: sample %d out of range [0,%d)", s, r, n)
+			}
+			freq[r]++
+		}
+		if !(freq[0] > freq[10] && freq[10] > freq[100]) {
+			t.Fatalf("s=%v: frequencies not decreasing: f(0)=%d f(10)=%d f(100)=%d",
+				s, freq[0], freq[10], freq[100])
+		}
+		// The head probability ratio p(1)/p(2) must track 2^s.
+		got := float64(freq[0]) / float64(freq[1])
+		want := math.Pow(2, s)
+		if math.Abs(got-want)/want > 0.10 {
+			t.Fatalf("s=%v: p(1)/p(2) = %.3f, want ~%.3f", s, got, want)
+		}
+	}
+}
+
+// TestZipfSkewOrdersMeanRank pins the qualitative effect of the exponent:
+// more skew concentrates mass on the popular head, so the mean sampled rank
+// must shrink as s grows.
+func TestZipfSkewOrdersMeanRank(t *testing.T) {
+	mean := func(s float64) float64 {
+		z := NewZipf(rand.New(rand.NewSource(7)), s, 1<<16)
+		var sum float64
+		const samples = 50000
+		for i := 0; i < samples; i++ {
+			sum += float64(z.Uint64())
+		}
+		return sum / samples
+	}
+	lo, mid, hi := mean(0.7), mean(1.0), mean(1.3)
+	if !(lo > mid && mid > hi) {
+		t.Fatalf("mean rank should fall with skew: s=0.7→%.1f s=1.0→%.1f s=1.3→%.1f", lo, mid, hi)
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(rand.New(rand.NewSource(42)), 0.95, 10000)
+	b := NewZipf(rand.New(rand.NewSource(42)), 0.95, 10000)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("sample %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestZipfRejectsBadParameters(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	rng := rand.New(rand.NewSource(1))
+	expectPanic("s=0", func() { NewZipf(rng, 0, 10) })
+	expectPanic("s<0", func() { NewZipf(rng, -1, 10) })
+	expectPanic("n=0", func() { NewZipf(rng, 1.1, 0) })
+}
+
+// TestZipfSingleElement checks the degenerate one-key range: every sample
+// must be rank 0.
+func TestZipfSingleElement(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(3)), 0.9, 1)
+	for i := 0; i < 100; i++ {
+		if r := z.Uint64(); r != 0 {
+			t.Fatalf("sample = %d, want 0", r)
+		}
+	}
+}
