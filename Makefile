@@ -21,10 +21,13 @@ conformance:
 	$(GO) test -count=1 -run TestServerProtocolConformance -v ./internal/server/
 
 # alloccheck runs the testing.AllocsPerRun gates that pin the hot-path
-# allocation floors (GET hit = 0 through protocol+server+store; GET miss = 1;
-# SET = value copy + item record; streaming client pipelined GET <= 1
-# amortized over a real socket). An accidental allocation fails the build,
-# not a future benchmark run.
+# allocation floors (GET hit = 0 through protocol+server+store with the value
+# copied out of its arena chunk into the session buffer; GET miss = 1; SET,
+# cross-class re-set and append/prepend = 0 — value chunks recycled through
+# the slab arena, item records pooled per shard; set+delete churn <= 1;
+# streaming client pipelined GET <= 1 amortized over a real socket). An
+# accidental allocation on the mutation path fails the build, not a future
+# benchmark run.
 alloccheck:
 	$(GO) test -count=1 -run 'TestAllocGate' -v ./internal/server/ ./internal/store/ ./internal/client/
 
@@ -36,6 +39,7 @@ fuzz:
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkStoreGetSet -benchmem ./internal/store/
+	$(GO) test -run=NONE -bench=BenchmarkStoreWriteHeavy -benchmem ./internal/store/
 	$(GO) test -run=NONE -bench=BenchmarkServerPipelined -benchmem ./internal/server/
 
 bins:

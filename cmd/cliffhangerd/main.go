@@ -130,6 +130,7 @@ func parseMode(s string) (store.AllocationMode, error) {
 func logStats(logger *log.Logger, srv *server.Server, st *store.Store, interval time.Duration) {
 	for range time.Tick(interval) {
 		var parts []string
+		var arenaBytes, arenaUsed, arenaTotal int64
 		for _, name := range st.Tenants() {
 			s, err := st.Stats(name)
 			if err != nil {
@@ -138,9 +139,20 @@ func logStats(logger *log.Logger, srv *server.Server, st *store.Store, interval 
 			dropped, _ := st.DroppedEvents(name)
 			parts = append(parts, fmt.Sprintf("%s hit=%.4f req=%d shed=%d",
 				name, s.HitRate(), s.Requests, dropped))
+			if classes, err := st.SlabStats(name); err == nil {
+				ab, ub, tb := store.SumArenaStats(classes)
+				arenaBytes += ab
+				arenaUsed += ub
+				arenaTotal += tb
+			}
 		}
-		logger.Printf("ops/s=%.0f get p99=%v set p99=%v | %s",
+		occupancy := 0.0
+		if arenaTotal > 0 {
+			occupancy = float64(arenaUsed) / float64(arenaTotal)
+		}
+		logger.Printf("ops/s=%.0f get p99=%v set p99=%v arena=%dMiB occ=%.2f | %s",
 			srv.Ops.Rate(), srv.GetLatency.Quantile(0.99), srv.SetLatency.Quantile(0.99),
+			arenaBytes>>20, occupancy,
 			strings.Join(parts, " | "))
 	}
 }

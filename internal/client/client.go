@@ -489,7 +489,19 @@ func (c *Client) FlushAll() error {
 
 // Stats returns the server's STAT lines for the selected tenant.
 func (c *Client) Stats() (map[string]string, error) {
-	if err := c.writeLine("stats"); err != nil {
+	return c.statsCmd("stats")
+}
+
+// StatsSlabs returns the per-slab-class arena occupancy ("stats slabs"):
+// chunk size, carved pages and used/free chunk counts per class, keyed
+// "<class>:<field>", plus the active_slabs/total_pages/total_malloced
+// totals.
+func (c *Client) StatsSlabs() (map[string]string, error) {
+	return c.statsCmd("stats slabs")
+}
+
+func (c *Client) statsCmd(cmd string) (map[string]string, error) {
+	if err := c.writeLine(cmd); err != nil {
 		return nil, err
 	}
 	stats := make(map[string]string)

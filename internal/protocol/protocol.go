@@ -15,9 +15,10 @@
 //
 // Allocation discipline (shared with internal/server): the only place a
 // request is allowed to allocate in the steady state is the server's map
-// insertion on SET, where the key string and the stored value copy are
-// born. Everything else — parsing, response assembly via the Append*
-// helpers, stats formatting on the hot verbs — reuses caller-owned scratch.
+// insertion of a first-time SET, where the interned key string is born
+// (value bytes live in the store's recycled slab-arena chunks). Everything
+// else — parsing, response assembly via the Append* helpers, stats
+// formatting on the hot verbs — reuses caller-owned scratch.
 package protocol
 
 import (
@@ -268,7 +269,19 @@ func (p *Parser) ReadCommand() (*Command, error) {
 		if len(tok) != 0 {
 			return nil, fmt.Errorf("protocol: flush_all takes [delay] [noreply], got %q", tok)
 		}
-	case VerbStats, VerbVersion:
+	case VerbStats:
+		// stats [sub-command] — e.g. "stats slabs". The optional argument
+		// rides in Keys (it points into the parser-owned line buffer, like
+		// any key).
+		tok, rest2 := nextToken(rest)
+		if len(tok) != 0 {
+			cmd.Keys = append(cmd.Keys, tok)
+			p.keys = cmd.Keys[:0]
+			if extra, _ := nextToken(rest2); len(extra) != 0 {
+				return nil, fmt.Errorf("protocol: stats takes at most one argument, got %q", extra)
+			}
+		}
+	case VerbVersion:
 		// no arguments needed
 	case VerbQuit:
 		return nil, ErrQuit

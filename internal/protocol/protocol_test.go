@@ -198,6 +198,30 @@ func TestParserReusesCommand(t *testing.T) {
 	}
 }
 
+// TestParserStatsArgument covers the optional stats sub-command: bare stats
+// carries no keys, "stats slabs" carries the argument in Keys, and more than
+// one argument is rejected.
+func TestParserStatsArgument(t *testing.T) {
+	p := parser("stats\r\nstats slabs\r\nSTATS SLABS\r\n")
+	c, err := p.ReadCommand()
+	if err != nil || c.Name != VerbStats || len(c.Keys) != 0 {
+		t.Fatalf("bare stats = %+v, %v", c, err)
+	}
+	c, err = p.ReadCommand()
+	if err != nil || c.Name != VerbStats || len(c.Keys) != 1 || key(c, 0) != "slabs" {
+		t.Fatalf("stats slabs = %+v, %v", c, err)
+	}
+	// The verb matches case-insensitively; the argument is passed through
+	// as sent (the server compares it literally, like memcached).
+	c, err = p.ReadCommand()
+	if err != nil || c.Name != VerbStats || key(c, 0) != "SLABS" {
+		t.Fatalf("STATS SLABS = %+v, %v", c, err)
+	}
+	if _, err := parser("stats slabs extra\r\n").ReadCommand(); err == nil {
+		t.Fatalf("stats with two arguments must be rejected")
+	}
+}
+
 // TestParserTornCommands drives every command shape through a reader that
 // delivers one byte at a time into a minimum-size bufio buffer, so every line
 // and data block spans many refills: the tokenizer must reassemble them

@@ -70,8 +70,10 @@ func TestAllocGateServerGet(t *testing.T) {
 	}
 }
 
-// TestAllocGateServerSet pins the SET floor through the same full path: the
-// value copy and item record born at map insertion, and nothing else (<= 2).
+// TestAllocGateServerSet pins the SET floor through the same full path: with
+// the slab arena a steady-state re-set allocates NOTHING — the value bytes
+// are copied from the parse buffer into the record's recycled chunk under
+// the shard lock, and the record and interned key are reused.
 func TestAllocGateServerSet(t *testing.T) {
 	c, reset := newGateSession(t, []byte("set key-1 7 0 128\r\n"+string(make([]byte, 128))+"\r\n"))
 	step := func() {
@@ -81,8 +83,27 @@ func TestAllocGateServerSet(t *testing.T) {
 		}
 	}
 	step()
-	if allocs := testing.AllocsPerRun(1000, step); allocs > 2 {
-		t.Errorf("steady-state SET allocates %.2f objects/op, want <= 2 (value copy + item record)", allocs)
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Errorf("steady-state SET allocates %.2f objects/op, want 0 (chunk and record recycled)", allocs)
+	}
+}
+
+// TestAllocGateServerAppend pins append through the full protocol path: the
+// suffix is assembled directly into the record's chunk, so a re-set+append
+// command pair allocates nothing.
+func TestAllocGateServerAppend(t *testing.T) {
+	payload := "set key-1 7 0 128\r\n" + string(make([]byte, 128)) + "\r\n" +
+		"append key-1 0 0 16\r\n" + string(make([]byte, 16)) + "\r\n"
+	c, reset := newGateSession(t, []byte(payload))
+	step := func() {
+		reset()
+		if !c.step() || !c.step() {
+			t.Fatal("session stopped on a healthy SET+APPEND")
+		}
+	}
+	step()
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Errorf("steady-state SET+APPEND allocates %.2f objects/op, want 0 (in-chunk assembly)", allocs)
 	}
 }
 

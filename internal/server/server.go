@@ -13,9 +13,13 @@
 // replies are assembled into with strconv.Append*, and GET responses are
 // streamed one VALUE block at a time as keys are looked up (no []Value
 // buffering). Keys cross into the store as []byte via the byte-key entry
-// points (GetItemBytes, SetItemBytes); the only steady-state allocations are
-// the key string and value copy born at map insertion on SET. The
-// TestAllocGate tests pin this with testing.AllocsPerRun.
+// points (GetItemInto, SetItemBytes, AppendBytes/PrependBytes). Value bytes
+// live in the store's recycled slab-arena chunks: a GET copies them out into
+// the session's vbuf under the shard lock (the chunk may be reused the
+// moment the lock drops), and a SET copies the parse buffer into a recycled
+// chunk, so the only steady-state allocation anywhere on the path is the
+// interned key string of a first-time SET. The TestAllocGate tests pin this
+// with testing.AllocsPerRun.
 package server
 
 import (
@@ -144,9 +148,10 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // session is the per-connection state: the buffered reader/writer, the
-// zero-copy parser with its reusable Command, the selected tenant and the
-// response scratch buffer. Everything a command needs in the steady state is
-// reused across commands, so the request path does not allocate.
+// zero-copy parser with its reusable Command, the selected tenant, the
+// response scratch buffer and the value copy-out buffer. Everything a
+// command needs in the steady state is reused across commands, so the
+// request path does not allocate.
 type session struct {
 	srv     *Server
 	r       *bufio.Reader
@@ -154,7 +159,21 @@ type session struct {
 	parser  *protocol.Parser
 	tenant  string
 	scratch []byte
+	// vbuf receives value bytes copied out of the store under the shard
+	// lock (store.GetItemInto): resident values live in recycled arena
+	// chunks, so the bytes must be session-owned before they are streamed
+	// to the wire. Steady-state traffic reuses it; a single outsized value
+	// cannot pin its worst case for the connection's lifetime (see
+	// maxRetainedVBuf in step).
+	vbuf []byte
 }
+
+// maxRetainedVBuf caps the value copy-out buffer a session keeps between
+// commands, mirroring the parser's scratch retention: values up to the cap
+// (the overwhelming steady state) reuse the buffer allocation-free, while a
+// connection that once read a near-1 MiB value does not pin that much heap
+// until it closes.
+const maxRetainedVBuf = 64 << 10
 
 // newSession builds a session over the given buffered reader and writer.
 func newSession(s *Server, r *bufio.Reader, w *bufio.Writer) *session {
@@ -190,6 +209,9 @@ func (s *Server) serveConn(conn net.Conn) {
 // i.e. right before the next read could block. A closed-loop client (one
 // request at a time) still gets a flush per request.
 func (c *session) step() bool {
+	if cap(c.vbuf) > maxRetainedVBuf {
+		c.vbuf = nil
+	}
 	cmd, err := c.parser.ReadCommand()
 	if err != nil {
 		if errors.Is(err, protocol.ErrQuit) || errors.Is(err, io.EOF) {
@@ -243,7 +265,7 @@ func (s *Server) handle(c *session, cmd *protocol.Command) error {
 	case protocol.VerbDelete:
 		return s.handleDelete(c, cmd)
 	case protocol.VerbStats:
-		return s.handleStats(c)
+		return s.handleStats(c, cmd)
 	case protocol.VerbFlushAll:
 		// cmd.ExpTime carries the optional delay: 0 flushes immediately, a
 		// future deadline invalidates items last written before it once it
@@ -264,13 +286,16 @@ func (s *Server) handle(c *session, cmd *protocol.Command) error {
 }
 
 // handleGet streams one VALUE block per present key as it is looked up —
-// no []Value is buffered — and terminates with END. The VALUE header is
+// no []Value is buffered — and terminates with END. The value bytes are
+// copied out of the arena chunk into the session's vbuf under the shard lock
+// (the chunk may be recycled the moment the lock drops); the VALUE header is
 // assembled into the session scratch with strconv appends.
 func (s *Server) handleGet(c *session, cmd *protocol.Command) error {
 	withCAS := cmd.Name == protocol.VerbGets
 	for _, key := range cmd.Keys {
 		start := nowNano()
-		it, ok, err := s.store.GetItemBytes(c.tenant, key)
+		it, vbuf, ok, err := s.store.GetItemInto(c.tenant, key, c.vbuf)
+		c.vbuf = vbuf
 		s.GetLatency.Record(nowNano() - start)
 		if err != nil {
 			return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
@@ -293,14 +318,6 @@ func (s *Server) handleGet(c *session, cmd *protocol.Command) error {
 	return err
 }
 
-// cloneData copies a parser-owned data block; the store retains what the
-// storage verbs below hand it, so the reusable parse buffer must not leak in.
-func cloneData(b []byte) []byte {
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
-}
-
 func (s *Server) handleSet(c *session, cmd *protocol.Command) error {
 	key := cmd.Keys[0]
 	start := nowNano()
@@ -308,24 +325,23 @@ func (s *Server) handleSet(c *session, cmd *protocol.Command) error {
 		stored bool
 		err    error
 	)
+	// Every storage verb copies the parser-owned data block into an arena
+	// chunk under the shard lock, so the reusable parse buffer can be passed
+	// through without cloning.
 	switch cmd.Name {
 	case protocol.VerbSet:
-		// SetItemBytes copies the value and materializes the key string only
-		// at map insertion — the one allocation site of the steady state.
 		err = s.store.SetItemBytes(c.tenant, key, cmd.Data, cmd.Flags, cmd.ExpTime)
 		stored = err == nil
 	case protocol.VerbAdd:
-		stored, err = s.store.Add(c.tenant, string(key), cloneData(cmd.Data), cmd.Flags, cmd.ExpTime)
+		stored, err = s.store.Add(c.tenant, string(key), cmd.Data, cmd.Flags, cmd.ExpTime)
 	case protocol.VerbReplace:
-		stored, err = s.store.Replace(c.tenant, string(key), cloneData(cmd.Data), cmd.Flags, cmd.ExpTime)
+		stored, err = s.store.Replace(c.tenant, string(key), cmd.Data, cmd.Flags, cmd.ExpTime)
 	case protocol.VerbAppend:
-		// Append/Prepend copy the suffix into the new value themselves, so
-		// the parser-owned block can be passed through.
-		stored, err = s.store.Append(c.tenant, string(key), cmd.Data)
+		stored, err = s.store.AppendBytes(c.tenant, key, cmd.Data)
 	case protocol.VerbPrepend:
-		stored, err = s.store.Prepend(c.tenant, string(key), cmd.Data)
+		stored, err = s.store.PrependBytes(c.tenant, key, cmd.Data)
 	case protocol.VerbCas:
-		res, cerr := s.store.CompareAndSwap(c.tenant, string(key), cloneData(cmd.Data), cmd.Flags, cmd.ExpTime, cmd.CAS)
+		res, cerr := s.store.CompareAndSwap(c.tenant, string(key), cmd.Data, cmd.Flags, cmd.ExpTime, cmd.CAS)
 		s.SetLatency.Record(nowNano() - start)
 		if cmd.NoReply {
 			return nil
@@ -416,23 +432,41 @@ func (s *Server) handleDelete(c *session, cmd *protocol.Command) error {
 	return protocol.WriteLine(c.w, "NOT_FOUND")
 }
 
-func (s *Server) handleStats(c *session) error {
+func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
+	if len(cmd.Keys) > 0 {
+		if string(cmd.Keys[0]) == "slabs" {
+			return s.handleStatsSlabs(c)
+		}
+		return protocol.WriteLine(c.w, "ERROR")
+	}
 	st, err := s.store.Stats(c.tenant)
 	if err != nil {
 		return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
 	}
-	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec"}
+	// Arena occupancy for the tenant: total carved bytes and the fraction
+	// backing resident values (chunks in use over chunks carved).
+	var arenaBytes, usedChunkBytes, totalChunkBytes int64
+	if classes, err := s.store.SlabStats(c.tenant); err == nil {
+		arenaBytes, usedChunkBytes, totalChunkBytes = store.SumArenaStats(classes)
+	}
+	occupancy := 0.0
+	if totalChunkBytes > 0 {
+		occupancy = float64(usedChunkBytes) / float64(totalChunkBytes)
+	}
+	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "arena_bytes", "arena_occupancy"}
 	stats := map[string]string{
-		"tenant":      c.tenant,
-		"cmd_get":     strconv.FormatInt(st.Requests, 10),
-		"get_hits":    strconv.FormatInt(st.Hits, 10),
-		"get_misses":  strconv.FormatInt(st.Misses, 10),
-		"hit_rate":    fmt.Sprintf("%.4f", st.HitRate()),
-		"cmd_set":     strconv.FormatInt(st.Sets, 10),
-		"cmd_touch":   strconv.FormatInt(st.Touches, 10),
-		"touch_hits":  strconv.FormatInt(st.TouchHits, 10),
-		"expired":     strconv.FormatInt(st.Expired, 10),
-		"ops_per_sec": fmt.Sprintf("%.0f", s.Ops.Rate()),
+		"tenant":          c.tenant,
+		"cmd_get":         strconv.FormatInt(st.Requests, 10),
+		"get_hits":        strconv.FormatInt(st.Hits, 10),
+		"get_misses":      strconv.FormatInt(st.Misses, 10),
+		"hit_rate":        fmt.Sprintf("%.4f", st.HitRate()),
+		"cmd_set":         strconv.FormatInt(st.Sets, 10),
+		"cmd_touch":       strconv.FormatInt(st.Touches, 10),
+		"touch_hits":      strconv.FormatInt(st.TouchHits, 10),
+		"expired":         strconv.FormatInt(st.Expired, 10),
+		"ops_per_sec":     fmt.Sprintf("%.0f", s.Ops.Rate()),
+		"arena_bytes":     strconv.FormatInt(arenaBytes, 10),
+		"arena_occupancy": fmt.Sprintf("%.4f", occupancy),
 	}
 	for _, cl := range st.Classes {
 		k := fmt.Sprintf("class_%d_hit_rate", cl.Class)
@@ -443,5 +477,43 @@ func (s *Server) handleStats(c *session) error {
 		}
 		stats[k] = fmt.Sprintf("%.4f", hr)
 	}
+	return protocol.WriteStats(c.w, stats, order)
+}
+
+// handleStatsSlabs serves the memcached "stats slabs" sub-command from the
+// tenant's arena accounting: per active class the chunk size, carved pages
+// and used/free chunk counts, then the cross-class page count and total
+// arena bytes (memcached's active_slabs / total_malloced footer).
+func (s *Server) handleStatsSlabs(c *session) error {
+	classes, err := s.store.SlabStats(c.tenant)
+	if err != nil {
+		return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
+	}
+	var order []string
+	stats := make(map[string]string)
+	add := func(k, v string) {
+		order = append(order, k)
+		stats[k] = v
+	}
+	active := 0
+	var totalBytes, totalPages int64
+	for _, cl := range classes {
+		if cl.Pages == 0 {
+			continue
+		}
+		active++
+		totalPages += cl.Pages
+		totalBytes += cl.ArenaBytes()
+		prefix := strconv.Itoa(cl.Class)
+		add(prefix+":chunk_size", strconv.FormatInt(cl.ChunkSize, 10))
+		add(prefix+":total_pages", strconv.FormatInt(cl.Pages, 10))
+		add(prefix+":total_chunks", strconv.FormatInt(cl.TotalChunks, 10))
+		add(prefix+":used_chunks", strconv.FormatInt(cl.UsedChunks, 10))
+		add(prefix+":free_chunks", strconv.FormatInt(cl.FreeChunks, 10))
+		add(prefix+":mem_requested", strconv.FormatInt(cl.UsedChunks*cl.ChunkSize, 10))
+	}
+	add("active_slabs", strconv.Itoa(active))
+	add("total_pages", strconv.FormatInt(totalPages, 10))
+	add("total_malloced", strconv.FormatInt(totalBytes, 10))
 	return protocol.WriteStats(c.w, stats, order)
 }

@@ -137,6 +137,22 @@ func TestServerTenantIsolationAndStats(t *testing.T) {
 	if stats["cmd_set"] == "" || stats["hit_rate"] == "" {
 		t.Fatalf("stats missing fields: %v", stats)
 	}
+	slabs, err := c2.StatsSlabs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slabs["active_slabs"] == "" || slabs["total_malloced"] == "" {
+		t.Fatalf("stats slabs missing totals: %v", slabs)
+	}
+	sawClass := false
+	for k := range slabs {
+		if strings.HasSuffix(k, ":used_chunks") {
+			sawClass = true
+		}
+	}
+	if !sawClass {
+		t.Fatalf("stats slabs reports no class lines for a tenant with a resident value: %v", slabs)
+	}
 	if err := c2.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
@@ -471,6 +487,44 @@ func TestServerProtocolConformance(t *testing.T) {
 	if !sawEnd {
 		t.Fatalf("stats response not terminated by END")
 	}
+
+	// stats slabs: per-class arena occupancy from the slab-arena accounting.
+	// A resident value means at least one class line (chunk_size, pages,
+	// used/free chunks) plus the active_slabs/total_malloced footer.
+	send("set slabbed 0 0 100\r\n" + strings.Repeat("s", 100) + "\r\n")
+	expect("STORED")
+	send("stats slabs\r\n")
+	sawEnd = false
+	sawChunkSize, sawUsed, sawMalloced := false, false, false
+	for i := 0; i < 128; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := strings.TrimRight(line, "\r\n")
+		if l == "END" {
+			sawEnd = true
+			break
+		}
+		if !strings.HasPrefix(l, "STAT ") {
+			t.Fatalf("stats slabs line = %q", l)
+		}
+		switch {
+		case strings.Contains(l, ":chunk_size "):
+			sawChunkSize = true
+		case strings.Contains(l, ":used_chunks "):
+			sawUsed = true
+		case strings.HasPrefix(l, "STAT total_malloced "):
+			sawMalloced = true
+		}
+	}
+	if !sawEnd || !sawChunkSize || !sawUsed || !sawMalloced {
+		t.Fatalf("stats slabs incomplete: end=%v chunk_size=%v used_chunks=%v total_malloced=%v",
+			sawEnd, sawChunkSize, sawUsed, sawMalloced)
+	}
+	// An unknown stats sub-command draws ERROR, like memcached.
+	send("stats bogus\r\n")
+	expect("ERROR")
 
 	// noreply storage writes produce no response.
 	send("set quiet 0 0 1 noreply\r\nq\r\nget quiet\r\n")

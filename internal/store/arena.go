@@ -1,0 +1,286 @@
+package store
+
+// Slab-arena value storage: the allocation discipline that keeps the mutation
+// path off the Go garbage collector. Each tenant owns an arena that carves
+// 1 MiB pages (slab.Geometry.PageSize) into fixed-size chunks, one chunk pool
+// per slab class, exactly like memcached's slab allocator. A stored item's
+// value bytes live in a chunk of the class its charged size (key+value) maps
+// to; on eviction, expiry, delete, flush and cross-class re-set the chunk
+// goes back on a freelist instead of to the GC, so a churning write-heavy
+// workload recycles a fixed set of pages instead of continuously allocating.
+//
+// Layout: chunks flow between a per-class central freelist and per-stripe
+// caches, one stripe per value shard (the Go runtime's mcache/mcentral
+// split). Alloc and free always run while the caller holds the owning value
+// shard's mutex, so a stripe's lock is effectively uncontended — it exists so
+// the stats/audit walk does not have to reach into shard locking. Refills and
+// flush-backs move chunks between a stripe and the central list in batches,
+// so even a stripe that only ever frees (or only ever allocates) touches the
+// central lock once per stripeRefill operations.
+//
+// Reclamation safety: a chunk must never be recycled while a reader can still
+// observe it. The store guarantees this by construction — every read copies
+// the value out under the shard lock (GetItemInto and friends), every free
+// happens under the same shard lock, and bookkeeping events carry key strings
+// and sizes, never chunk references — so by the time a chunk reaches a
+// freelist no goroutine can hold a view into it.
+//
+// Growth: pages are allocated lazily when a class's central freelist runs dry
+// and are never returned to the OS (memcached behaviour). Physical footprint
+// is bounded by peak residency: the structural eviction queues cap how many
+// chunks are ever live at once, and the freelists cap out at that peak.
+//
+// Lock order: bookkeeper.mu > valueShard.mu > arenaStripe.mu >
+// arenaCentral.mu. The arena never calls back into the store, so the order
+// cannot invert.
+//
+// Values whose charged size exceeds the largest chunk (possible only under
+// the exact-size global-LRU layout, which admits items of any size) fall back
+// to plain heap allocations and are handed to the GC on free; the arena
+// accounting does not cover them.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cliffhanger/internal/slab"
+)
+
+const (
+	// stripeRefill is how many chunks a dry stripe cache pulls from the
+	// central freelist at once.
+	stripeRefill = 8
+	// stripeCap is the stripe-cache size past which half the cached chunks
+	// are flushed back to the central freelist, so a shard that only frees
+	// (e.g. one the reaper is draining) cannot strand a class's chunks.
+	stripeCap = 16
+)
+
+// arena is one tenant's chunk allocator. Safe for concurrent use.
+type arena struct {
+	geom    *slab.Geometry
+	classes []arenaCentral
+	stripes []arenaStripe
+}
+
+// arenaCentral is one slab class's page store and central freelist.
+type arenaCentral struct {
+	mu        sync.Mutex
+	free      [][]byte // full-capacity chunks, len == cap == chunk size
+	pages     int64    // pages carved for this class (never released)
+	chunkSize int64
+	perPage   int64
+	// used counts chunks currently backing resident values (including ones
+	// cached per stripe's accounting moment: a chunk is used from the moment
+	// alloc hands it out until free takes it back). Updated outside the
+	// freelist locks, so live reads are approximate; after the store
+	// quiesces, used + free (central and stripe caches) == pages * perPage
+	// exactly — the conservation invariant the property test pins.
+	used atomic.Int64
+}
+
+// arenaStripe is one value shard's chunk cache, indexed by class.
+type arenaStripe struct {
+	mu   sync.Mutex
+	free [][][]byte
+}
+
+// newArena builds an arena over geom with one stripe per value shard.
+func newArena(geom *slab.Geometry, stripes int) *arena {
+	a := &arena{
+		geom:    geom,
+		classes: make([]arenaCentral, geom.NumClasses()),
+		stripes: make([]arenaStripe, stripes),
+	}
+	for c := range a.classes {
+		a.classes[c].chunkSize = geom.ChunkSize(c)
+		a.classes[c].perPage = geom.ChunksPerPage(c)
+	}
+	for i := range a.stripes {
+		a.stripes[i].free = make([][][]byte, geom.NumClasses())
+	}
+	return a
+}
+
+// classFor maps a charged item size to its arena chunk class. It reports
+// false for sizes beyond the largest chunk (the heap-fallback path).
+func (a *arena) classFor(size int64) (int, bool) {
+	return a.geom.ClassFor(size)
+}
+
+// alloc returns a full-length chunk of the given class, preferring the
+// stripe's cache, then the central freelist, then a freshly carved page.
+func (a *arena) alloc(stripe, class int) []byte {
+	st := &a.stripes[stripe]
+	st.mu.Lock()
+	cache := st.free[class]
+	if len(cache) == 0 {
+		cache = a.refillLocked(class, cache)
+	}
+	n := len(cache) - 1
+	c := cache[n]
+	cache[n] = nil
+	st.free[class] = cache[:n]
+	st.mu.Unlock()
+	a.classes[class].used.Add(1)
+	return c
+}
+
+// refillLocked moves up to stripeRefill chunks from the class's central
+// freelist into cache, carving a new page first when the central list is dry.
+// The caller must hold the stripe's lock; the result is never empty.
+func (a *arena) refillLocked(class int, cache [][]byte) [][]byte {
+	cl := &a.classes[class]
+	cl.mu.Lock()
+	if len(cl.free) == 0 {
+		page := make([]byte, a.geom.PageSize)
+		cs := cl.chunkSize
+		for off := int64(0); off+cs <= a.geom.PageSize; off += cs {
+			// The three-index slice caps each chunk at its own boundary, so
+			// an append through a stale reference can never bleed into a
+			// neighbouring chunk.
+			cl.free = append(cl.free, page[off:off+cs:off+cs])
+		}
+		cl.pages++
+	}
+	n := stripeRefill
+	if n > len(cl.free) {
+		n = len(cl.free)
+	}
+	split := len(cl.free) - n
+	cache = append(cache, cl.free[split:]...)
+	for i := split; i < len(cl.free); i++ {
+		cl.free[i] = nil
+	}
+	cl.free = cl.free[:split]
+	cl.mu.Unlock()
+	return cache
+}
+
+// freeChunk returns a chunk to the given class's freelists. The chunk must
+// have been allocated from the same class; the capacity check turns any
+// accounting mismatch (a chunk freed under the wrong charged size) into a
+// loud failure instead of silent pool corruption.
+func (a *arena) freeChunk(stripe, class int, chunk []byte) {
+	cl := &a.classes[class]
+	if int64(cap(chunk)) != cl.chunkSize {
+		panic(fmt.Sprintf("store: arena chunk of cap %d freed into class %d (chunk size %d)",
+			cap(chunk), class, cl.chunkSize))
+	}
+	chunk = chunk[:cl.chunkSize]
+	st := &a.stripes[stripe]
+	st.mu.Lock()
+	cache := append(st.free[class], chunk)
+	if len(cache) > stripeCap {
+		cache = a.flushLocked(class, cache)
+	}
+	st.free[class] = cache
+	st.mu.Unlock()
+	cl.used.Add(-1)
+}
+
+// flushLocked moves the older half of an overfull stripe cache back to the
+// central freelist. The caller must hold the stripe's lock.
+func (a *arena) flushLocked(class int, cache [][]byte) [][]byte {
+	cl := &a.classes[class]
+	half := len(cache) / 2
+	cl.mu.Lock()
+	cl.free = append(cl.free, cache[:half]...)
+	cl.mu.Unlock()
+	rest := copy(cache, cache[half:])
+	for i := rest; i < len(cache); i++ {
+		cache[i] = nil
+	}
+	return cache[:rest]
+}
+
+// ArenaClassStats reports one slab class's arena occupancy.
+type ArenaClassStats struct {
+	// Class is the slab class index; ChunkSize its chunk size in bytes.
+	Class     int
+	ChunkSize int64
+	// Pages is the number of pages carved for the class; PageSize is the
+	// page size in bytes.
+	Pages    int64
+	PageSize int64
+	// TotalChunks is Pages times chunks-per-page.
+	TotalChunks int64
+	// UsedChunks counts chunks backing resident values; FreeChunks counts
+	// chunks on the central freelist and the per-stripe caches. Under live
+	// traffic the split is approximate (a chunk in flight between a freelist
+	// and a record is momentarily in neither count); on a quiesced store
+	// Used + Free == Total exactly.
+	UsedChunks int64
+	FreeChunks int64
+}
+
+// ArenaBytes returns the bytes the class's pages occupy.
+func (s ArenaClassStats) ArenaBytes() int64 { return s.Pages * s.PageSize }
+
+// SumArenaStats totals per-class occupancy into the three numbers every
+// consumer wants: bytes carved into pages, bytes backing resident chunks,
+// and total chunk bytes (the occupancy denominator). The stats verb and the
+// periodic daemon log both aggregate through here so they can never
+// disagree on what "occupancy" means.
+func SumArenaStats(classes []ArenaClassStats) (arenaBytes, usedBytes, totalBytes int64) {
+	for _, cl := range classes {
+		arenaBytes += cl.ArenaBytes()
+		usedBytes += cl.UsedChunks * cl.ChunkSize
+		totalBytes += cl.TotalChunks * cl.ChunkSize
+	}
+	return arenaBytes, usedBytes, totalBytes
+}
+
+// stats snapshots every class's occupancy, including classes that have not
+// carved a page yet (Pages == 0).
+func (a *arena) stats() []ArenaClassStats {
+	out := make([]ArenaClassStats, len(a.classes))
+	for c := range a.classes {
+		cl := &a.classes[c]
+		cl.mu.Lock()
+		out[c] = ArenaClassStats{
+			Class:       c,
+			ChunkSize:   cl.chunkSize,
+			Pages:       cl.pages,
+			PageSize:    a.geom.PageSize,
+			TotalChunks: cl.pages * cl.perPage,
+			UsedChunks:  cl.used.Load(),
+			FreeChunks:  int64(len(cl.free)),
+		}
+		cl.mu.Unlock()
+	}
+	for i := range a.stripes {
+		st := &a.stripes[i]
+		st.mu.Lock()
+		for c := range st.free {
+			out[c].FreeChunks += int64(len(st.free[c]))
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// checkConservation verifies the arena's chunk-conservation invariant on a
+// quiesced store: for every class, every chunk of every carved page is either
+// backing a resident value or sitting on a freelist — used + free == pages *
+// chunks-per-page, with no chunk leaked and none double-freed. usedWant gives
+// the caller-counted resident chunks per class (from walking the item
+// directory); pass nil to skip that cross-check.
+func (a *arena) checkConservation(usedWant []int64) error {
+	for _, st := range a.stats() {
+		if st.UsedChunks+st.FreeChunks != st.TotalChunks {
+			return fmt.Errorf("class %d (chunk %d): used %d + free %d != total %d (%d pages)",
+				st.Class, st.ChunkSize, st.UsedChunks, st.FreeChunks, st.TotalChunks, st.Pages)
+		}
+		if st.UsedChunks < 0 || st.FreeChunks < 0 {
+			return fmt.Errorf("class %d: negative occupancy (used %d, free %d)",
+				st.Class, st.UsedChunks, st.FreeChunks)
+		}
+		if usedWant != nil && st.UsedChunks != usedWant[st.Class] {
+			return fmt.Errorf("class %d: arena counts %d used chunks, directory holds %d",
+				st.Class, st.UsedChunks, usedWant[st.Class])
+		}
+	}
+	return nil
+}

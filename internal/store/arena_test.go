@@ -1,0 +1,307 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cliffhanger/internal/cache"
+	"cliffhanger/internal/slab"
+)
+
+// auditArena walks the tenant's item directory under the shard locks,
+// counting resident arena chunks per class and the structural charge of
+// every record, then checks the arena's conservation invariant against both.
+// The store must be quiesced (Flush called, no concurrent traffic).
+func auditArena(t *testing.T, s *Store, tenant string) {
+	t.Helper()
+	e, ok := s.entry(tenant)
+	if !ok {
+		t.Fatalf("unknown tenant %q", tenant)
+	}
+	usedWant := make([]int64, e.arena.geom.NumClasses())
+	var charge int64
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, it := range sh.items {
+			class, inArena := e.arena.classFor(it.size)
+			if inArena {
+				usedWant[class]++
+				if int64(cap(it.value)) != e.arena.geom.ChunkSize(class) {
+					t.Errorf("key %q: chunk cap %d does not match class %d chunk size %d",
+						it.key, cap(it.value), class, e.arena.geom.ChunkSize(class))
+				}
+			}
+			if int64(len(it.key)+len(it.value)) != it.size {
+				t.Errorf("key %q: charged size %d != len(key)+len(value) %d",
+					it.key, it.size, len(it.key)+len(it.value))
+			}
+			cl, fits := e.tenant.ClassFor(it.size)
+			if !fits {
+				t.Errorf("key %q: resident at size %d beyond the largest class", it.key, it.size)
+				continue
+			}
+			charge += e.tenant.cost(cl, it.size)
+		}
+		sh.mu.Unlock()
+	}
+	if err := e.arena.checkConservation(usedWant); err != nil {
+		t.Errorf("arena conservation violated: %v", err)
+	}
+	used, err := s.UsedBytes(tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != charge {
+		t.Errorf("UsedBytes = %d, live records charge %d", used, charge)
+	}
+}
+
+// arenaStormOps drives one randomized mutation storm against the store:
+// sets, cross-class re-sets, appends, prepends, deletes, TTL'd sets, clock
+// advances (expiry + reaper food) and occasional flushes, across sizes that
+// span several slab classes.
+func arenaStormOps(t *testing.T, s *Store, tenant string, rng *rand.Rand, ops int, clock *int64, mu *sync.Mutex) {
+	t.Helper()
+	payload := make([]byte, 6000)
+	sizes := []int{40, 100, 400, 900, 1800, 3900, 5800}
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(2000))
+		size := sizes[rng.Intn(len(sizes))]
+		switch r := rng.Intn(100); {
+		case r < 40: // SET (frequently a cross-class re-set)
+			if err := s.SetItem(tenant, key, payload[:size], uint32(i), 0); err != nil {
+				t.Errorf("set: %v", err)
+			}
+		case r < 48: // SET with a TTL the clock advances will kill
+			mu.Lock()
+			now := *clock
+			mu.Unlock()
+			if err := s.SetItem(tenant, key, payload[:size], 0, now+int64(1+rng.Intn(5))); err != nil {
+				t.Errorf("ttl set: %v", err)
+			}
+		case r < 58:
+			if _, err := s.Append(tenant, key, payload[:rng.Intn(64)]); err != nil {
+				t.Errorf("append: %v", err)
+			}
+		case r < 64:
+			if _, err := s.Prepend(tenant, key, payload[:rng.Intn(64)]); err != nil {
+				t.Errorf("prepend: %v", err)
+			}
+		case r < 78:
+			if _, err := s.Delete(tenant, key); err != nil {
+				t.Errorf("delete: %v", err)
+			}
+		case r < 90:
+			if _, _, err := s.Get(tenant, key); err != nil {
+				t.Errorf("get: %v", err)
+			}
+		case r < 94:
+			if _, err := s.Touch(tenant, key, int64(rng.Intn(10))); err != nil {
+				t.Errorf("touch: %v", err)
+			}
+		case r < 99: // advance the expiry clock
+			mu.Lock()
+			*clock += int64(rng.Intn(3))
+			mu.Unlock()
+		default:
+			if rng.Intn(4) == 0 {
+				if err := s.FlushAll(tenant, 0); err != nil {
+					t.Errorf("flush: %v", err)
+				}
+			} else {
+				mu.Lock()
+				now := *clock
+				mu.Unlock()
+				// Delayed flush: arms a deadline a later clock advance passes.
+				if err := s.FlushAll(tenant, now+int64(1+rng.Intn(3))); err != nil {
+					t.Errorf("delayed flush: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaConservationProperty is the arena's safety net: after a
+// randomized storm of set / cross-class re-set / append / prepend / delete /
+// expire / flush traffic, every chunk of every carved page must be either
+// backing a resident value or sitting on a freelist (no leak, no double
+// free), every resident chunk's capacity must match its class, and
+// UsedBytes must still equal the live records' structural charge — in both
+// bookkeeping modes. Run under -race (make race / CI) this also hammers the
+// chunk-recycling paths against the concurrent reader copy-out contract.
+func TestArenaConservationProperty(t *testing.T) {
+	for _, syncBk := range []bool{true, false} {
+		name := "async"
+		if syncBk {
+			name = "sync"
+		}
+		t.Run(name, func(t *testing.T) {
+			var (
+				mu    sync.Mutex
+				clock = int64(1000)
+			)
+			s := New(Config{
+				DefaultMode:     AllocCliffhanger,
+				DefaultPolicy:   cache.PolicyLRU,
+				SyncBookkeeping: syncBk,
+				Now: func() int64 {
+					mu.Lock()
+					defer mu.Unlock()
+					return clock
+				},
+			})
+			defer s.Close()
+			// Small enough that the storm's working set forces evictions.
+			if err := s.RegisterTenant("app", 4<<20); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			arenaStormOps(t, s, "app", rng, 30000, &clock, &mu)
+			s.Flush()
+			auditArena(t, s, "app")
+		})
+	}
+}
+
+// TestArenaConservationConcurrent runs the same storm from several
+// goroutines at once (async bookkeeping, the production mode), settles, and
+// audits. Under -race this is the main detector for a chunk being recycled
+// while another goroutine can still observe it.
+func TestArenaConservationConcurrent(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		clock = int64(1000)
+	)
+	s := New(Config{
+		DefaultMode:   AllocCliffhanger,
+		DefaultPolicy: cache.PolicyLRU,
+		Now: func() int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return clock
+		},
+	})
+	defer s.Close()
+	if err := s.RegisterTenant("app", 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	ops := 8000
+	if testing.Short() {
+		ops = 2000
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			arenaStormOps(t, s, "app", rand.New(rand.NewSource(seed)), ops, &clock, &mu)
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	s.Flush()
+	auditArena(t, s, "app")
+}
+
+// TestArenaGlobalLRUOversizeFallback pins the heap-fallback path: the
+// exact-size global-LRU layout admits items beyond the largest chunk, which
+// must bypass the arena (no page carved for them), keep working across
+// re-sets in both directions, and leave conservation intact.
+func TestArenaGlobalLRUOversizeFallback(t *testing.T) {
+	s := New(Config{DefaultMode: AllocGlobalLRU, DefaultPolicy: cache.PolicyLRU, SyncBookkeeping: true})
+	defer s.Close()
+	if err := s.RegisterTenant("big", 16<<20); err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, (1<<20)+4096) // beyond the 1 MiB max chunk
+	for i := range huge {
+		huge[i] = byte(i)
+	}
+	if err := s.Set("big", "huge", huge); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("big", "huge")
+	if err != nil || !ok || len(v) != len(huge) || v[12345] != huge[12345] {
+		t.Fatalf("oversize value not served back: ok=%v err=%v len=%d", ok, err, len(v))
+	}
+	// Shrink into an arena class, then grow back out.
+	if err := s.Set("big", "huge", make([]byte, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("big", "huge", huge); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := s.Get("big", "huge"); !ok || len(v) != len(huge) {
+		t.Fatalf("re-grown oversize value lost: ok=%v len=%d", ok, len(v))
+	}
+	// Append onto an oversize value reuses its heap buffer only when it has
+	// room; either way the result must be intact.
+	if _, err := s.Append("big", "huge", []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = s.Get("big", "huge")
+	if !ok || len(v) != len(huge)+4 || string(v[len(v)-4:]) != "tail" {
+		t.Fatalf("oversize append corrupt: ok=%v len=%d", ok, len(v))
+	}
+	if _, err := s.Delete("big", "huge"); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	auditArena(t, s, "big")
+}
+
+// TestArenaChunkMisfreePanics pins the loud-failure contract: returning a
+// buffer whose capacity does not match the class's chunk size (an accounting
+// bug, were it ever to happen) must panic rather than corrupt the pools.
+func TestArenaChunkMisfreePanics(t *testing.T) {
+	a := newArena(slab.DefaultGeometry(), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing a mis-sized chunk did not panic")
+		}
+	}()
+	a.freeChunk(0, 2, make([]byte, 10))
+}
+
+// TestArenaRecycling pins the recycle-don't-free discipline at the arena
+// level: a burst of allocations followed by frees and an identical second
+// burst must not carve new pages — the second burst is served entirely from
+// the freelists.
+func TestArenaRecycling(t *testing.T) {
+	geom := slab.DefaultGeometry()
+	a := newArena(geom, 8)
+	class, _ := a.classFor(200)
+	var chunks [][]byte
+	for i := 0; i < 5000; i++ {
+		chunks = append(chunks, a.alloc(i%8, class))
+	}
+	pagesAfterFirst := a.stats()[class].Pages
+	if pagesAfterFirst == 0 {
+		t.Fatal("no pages carved")
+	}
+	for i, c := range chunks {
+		a.freeChunk(i%8, class, c)
+	}
+	chunks = chunks[:0]
+	for i := 0; i < 5000; i++ {
+		chunks = append(chunks, a.alloc((i+3)%8, class))
+	}
+	st := a.stats()[class]
+	if st.Pages != pagesAfterFirst {
+		t.Fatalf("second burst carved new pages: %d -> %d", pagesAfterFirst, st.Pages)
+	}
+	if st.UsedChunks != 5000 {
+		t.Fatalf("used = %d, want 5000", st.UsedChunks)
+	}
+	for i, c := range chunks {
+		a.freeChunk(i%8, class, c)
+	}
+	if err := a.checkConservation(nil); err != nil {
+		t.Fatalf("conservation after recycle: %v", err)
+	}
+	if st := a.stats()[class]; st.UsedChunks != 0 {
+		t.Fatalf("used = %d after freeing everything", st.UsedChunks)
+	}
+}

@@ -313,6 +313,8 @@ func (b *bookkeeper) reap() {
 				ev := event{kind: evExpire, key: key, size: it.size}
 				acts = append(acts, b.bufferLocked(sh, &ev))
 				evs = append(evs, ev)
+				b.entry.freeValueLocked(sh, it.size, it.value)
+				sh.putItemLocked(it)
 			}
 			if scanned++; scanned >= reapScanLimit {
 				break

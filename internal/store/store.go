@@ -63,11 +63,22 @@ type Store struct {
 // bookkeeping facts the protocol verbs need — the flags SET stored, the CAS
 // token of the last mutation, the charged size the admission was accounted
 // under (so GET and DELETE never recompute it), and the expiry deadline.
+//
+// Records are pooled per shard (see valueShard.getItemLocked): a delete,
+// eviction, expiry or flush pushes the record onto the shard's freelist
+// instead of handing it to the GC, and the next insertion pops it back. The
+// value bytes live in a recycled arena chunk of the class the charged size
+// maps to (tenantEntry.newValueLocked) — both halves of what used to be the
+// SET path's two heap allocations are recycled.
 type item struct {
 	// key is the interned key string the record was inserted under: the one
 	// string materialized per resident key. Byte-keyed reads reuse it for
 	// their bookkeeping events so a GET hit never converts []byte to string.
-	key   string
+	key string
+	// value is a view into an arena chunk (or a plain heap buffer for the
+	// oversize global-LRU fallback). It is only valid while the shard lock
+	// is held: once the record is freed the chunk is recycled, so readers
+	// must copy the bytes out under the lock (GetItemInto).
 	value []byte
 	flags uint32
 	cas   uint64
@@ -89,6 +100,8 @@ type item struct {
 	// dropVictim).
 	seq          uint64
 	pendingAdmit bool
+	// next links the record into its shard's freelist while pooled.
+	next *item
 }
 
 // expiredAt reports whether the record's TTL has lapsed at the given clock.
@@ -113,6 +126,13 @@ type valueShard struct {
 	items map[string]*item
 	// casCounter provides unique CAS tokens for the gets/cas protocol verbs.
 	casCounter uint64
+	// idx is the shard's index: it selects the arena stripe the shard's
+	// chunk traffic goes through.
+	idx int
+	// freeItems pools dead item records for reuse (guarded by mu), bounded
+	// by the shard's peak residency. A record is pooled only after its chunk
+	// has been freed and only under mu, so no reader can still hold it.
+	freeItems *item
 
 	// pending buffers this shard's bookkeeping events (guarded by mu);
 	// applyMu makes stealing and replaying the buffer one atomic step so
@@ -124,6 +144,26 @@ type valueShard struct {
 	applyMu sync.Mutex
 }
 
+// getItemLocked pops a pooled record (or allocates the shard's first). The
+// caller must hold sh.mu and must initialize every field it needs; pooled
+// records come back zeroed.
+func (sh *valueShard) getItemLocked() *item {
+	if it := sh.freeItems; it != nil {
+		sh.freeItems = it.next
+		it.next = nil
+		return it
+	}
+	return &item{}
+}
+
+// putItemLocked zeroes a dead record and pushes it onto the shard freelist.
+// The record's chunk must already have been freed (freeValueLocked) and the
+// record removed from sh.items; the caller must hold sh.mu.
+func (sh *valueShard) putItemLocked(it *item) {
+	*it = item{next: sh.freeItems}
+	sh.freeItems = it
+}
+
 // tenantEntry couples a tenant's sharded value table with the bookkeeper
 // that owns its structural state.
 type tenantEntry struct {
@@ -131,6 +171,9 @@ type tenantEntry struct {
 	bk     *bookkeeper
 	shards []valueShard
 	mask   uint64
+	// arena is the tenant's slab-chunk allocator: every resident value's
+	// bytes live in one of its recycled chunks (see arena.go).
+	arena *arena
 	// flushAt is the armed delayed-flush deadline in unix seconds (0 = none):
 	// records last written before it become invalid once it passes. Read
 	// lock-free on the hot path.
@@ -145,23 +188,60 @@ func (e *tenantEntry) shardForBytes(key []byte) *valueShard {
 	return &e.shards[fnv1a64(key)&e.mask]
 }
 
-// dropValue removes key's item record (used when the tenant evicts it).
-func (e *tenantEntry) dropValue(key string) {
-	sh := e.shardFor(key)
-	sh.mu.Lock()
-	delete(sh.items, key)
-	sh.mu.Unlock()
+// newValueLocked returns a buffer of vlen bytes for an item charged at size,
+// backed by a recycled arena chunk of the matching slab class. Charged sizes
+// beyond the largest chunk (possible only under the exact-size global-LRU
+// layout) fall back to the heap. The caller must hold sh.mu.
+func (e *tenantEntry) newValueLocked(sh *valueShard, size int64, vlen int) []byte {
+	if class, ok := e.arena.classFor(size); ok {
+		return e.arena.alloc(sh.idx, class)[:vlen]
+	}
+	return make([]byte, vlen)
+}
+
+// freeValueLocked returns an item's value chunk to the arena freelist (heap
+// fallbacks are simply dropped to the GC). The caller must hold sh.mu and
+// must not touch value afterwards — the chunk may be handed to a concurrent
+// mutation on another key of the same shard group the moment the locks
+// release.
+func (e *tenantEntry) freeValueLocked(sh *valueShard, size int64, value []byte) {
+	if value == nil {
+		return
+	}
+	if class, ok := e.arena.classFor(size); ok {
+		e.arena.freeChunk(sh.idx, class, value)
+	}
+}
+
+// reallocValueLocked resizes it's value buffer for a mutation that changes
+// the charged size from it.size to newSize: the chunk is reused in place when
+// the new size maps to the same slab class (a chunk always has room for any
+// value of its class), and swapped through the freelists on a cross-class
+// re-set. The caller must hold sh.mu and must not have updated it.size yet.
+func (e *tenantEntry) reallocValueLocked(sh *valueShard, it *item, newSize int64, vlen int) {
+	oldClass, okOld := e.arena.classFor(it.size)
+	newClass, okNew := e.arena.classFor(newSize)
+	if (okOld && okNew && oldClass == newClass) || (!okOld && !okNew && cap(it.value) >= vlen) {
+		it.value = it.value[:vlen]
+		return
+	}
+	e.freeValueLocked(sh, it.size, it.value)
+	it.value = e.newValueLocked(sh, newSize, vlen)
 }
 
 // dropVictim removes key's record on behalf of a structural eviction, unless
 // the record was written by a mutation whose admission event has not been
 // replayed yet — that pending re-admission will re-establish the entry, so
-// the newer value must survive.
+// the newer value must survive. A dropped record's chunk and record go back
+// to the freelists; no reader can hold a view into the chunk because every
+// read copies out under this same shard lock.
 func (e *tenantEntry) dropVictim(key string) {
 	sh := e.shardFor(key)
 	sh.mu.Lock()
 	if it, ok := sh.items[key]; ok && !it.pendingAdmit {
 		delete(sh.items, key)
+		e.freeValueLocked(sh, it.size, it.value)
+		sh.putItemLocked(it)
 	}
 	sh.mu.Unlock()
 }
@@ -178,36 +258,57 @@ func (e *tenantEntry) markAdmitted(key string, seq uint64) {
 	sh.mu.Unlock()
 }
 
-// setLocked installs a new record for key and returns the structural event
+// setLocked installs value under key and returns the structural event
 // describing it: a plain admit for fresh keys, a re-admit carrying the old
 // charged size when a previous record existed at a different size (this is
 // how a cross-class re-set sheds its stale old-class entry). The caller must
 // hold sh.mu. prev may be an expired record: its structural entry is still
 // resident until an expiry or re-admit event removes it, so its size must be
 // accounted the same way a live one's is.
+//
+// Allocation discipline: a re-set mutates prev in place — the record is kept
+// and its chunk is reused when the new charged size stays in the same slab
+// class (or swapped through the freelists when it does not) — so a
+// steady-state SET allocates nothing. A fresh key pops a pooled record and a
+// recycled chunk; only the interned key string is born on the heap. value is
+// copied into the chunk here, under the lock, and must not alias prev's
+// current chunk (the concat path, which does alias, assembles in the chunk
+// itself instead of going through setLocked).
 func (e *tenantEntry) setLocked(sh *valueShard, key string, prev *item, value []byte, flags uint32, expires, now int64) event {
 	sh.casCounter++
-	it := &item{
-		key:     key,
-		value:   value,
-		flags:   flags,
-		cas:     sh.casCounter,
-		size:    int64(len(key) + len(value)),
-		expires: expires,
-		setAt:   now,
+	size := int64(len(key)) + int64(len(value))
+	it := prev
+	oldSize := int64(0)
+	if it == nil {
+		it = sh.getItemLocked()
+		it.key = key
+		it.value = e.newValueLocked(sh, size, len(value))
+		sh.items[key] = it
+	} else {
+		oldSize = it.size
+		e.reallocValueLocked(sh, it, size, len(value))
 	}
-	sh.items[key] = it
-	if prev != nil && prev.size != it.size {
-		return event{kind: evReAdmit, key: key, size: it.size, oldSize: prev.size}
+	copy(it.value, value)
+	it.flags = flags
+	it.cas = sh.casCounter
+	it.size = size
+	it.expires = expires
+	it.setAt = now
+	if prev != nil && oldSize != size {
+		return event{kind: evReAdmit, key: key, size: size, oldSize: oldSize}
 	}
-	return event{kind: evAdmit, key: key, size: it.size}
+	return event{kind: evAdmit, key: key, size: size}
 }
 
-// expireLocked removes a dead record and returns its expiry event. The
-// caller must hold sh.mu.
-func expireLocked(sh *valueShard, key string, it *item) event {
+// expireLocked removes a dead record, recycles its chunk and record, and
+// returns its expiry event. The caller must hold sh.mu and must not touch it
+// (or it.key) afterwards — capture anything needed before the call.
+func (e *tenantEntry) expireLocked(sh *valueShard, key string, it *item) event {
 	delete(sh.items, key)
-	return event{kind: evExpire, key: key, size: it.size}
+	ev := event{kind: evExpire, key: key, size: it.size}
+	e.freeValueLocked(sh, it.size, it.value)
+	sh.putItemLocked(it)
+	return ev
 }
 
 // bufferMutationLocked buffers a mutation event and stamps the freshly
@@ -313,9 +414,11 @@ func (s *Store) RegisterTenantConfig(cfg TenantConfig) error {
 		tenant: tenant,
 		shards: make([]valueShard, n),
 		mask:   uint64(n - 1),
+		arena:  newArena(cfg.Geometry, n),
 	}
 	for i := range e.shards {
 		e.shards[i].items = make(map[string]*item)
+		e.shards[i].idx = i
 	}
 	e.bk = newBookkeeper(tenant, e, s.cfg.SyncBookkeeping, s.cfg.Now)
 	next := make(map[string]*tenantEntry, len(old)+1)
@@ -412,33 +515,34 @@ func (s *Store) deadNow(e *tenantEntry, it *item) bool {
 }
 
 // liveLocked returns key's record if present and not dead (TTL lapsed or
-// flushed). A dead record is removed and its expiry event appended to
-// evs/acts; the caller must hold sh.mu, and after unlocking must pass every
-// appended event to bk.finish. The clock is only consulted for records that
-// can die at all.
-func (s *Store) liveLocked(e *tenantEntry, sh *valueShard, key string, evs *[]event, acts *[]recordAction) *item {
-	it := sh.items[key]
+// flushed). A dead record is removed, its chunk and record recycled, and its
+// buffered expiry event returned with hasExp true; the caller must hold
+// sh.mu, and after unlocking must finish exp before finishing any event it
+// buffers itself (per-key arrival order). Everything is passed by value so
+// the no-expiry steady state allocates nothing. The clock is only consulted
+// for records that can die at all.
+func (s *Store) liveLocked(e *tenantEntry, sh *valueShard, key string) (it *item, exp event, expAct recordAction, hasExp bool) {
+	it = sh.items[key]
 	if it == nil {
-		return nil
+		return nil, event{}, actNone, false
 	}
 	if !s.deadNow(e, it) {
-		return it
+		return it, event{}, actNone, false
 	}
-	ev := expireLocked(sh, key, it)
-	*acts = append(*acts, e.bk.bufferLocked(sh, &ev))
-	*evs = append(*evs, ev)
-	return nil
+	ev := e.expireLocked(sh, key, it)
+	act := e.bk.bufferLocked(sh, &ev)
+	return nil, ev, act, true
 }
 
-// finishAll completes buffered events after the shard lock is released.
-func finishAll(e *tenantEntry, sh *valueShard, evs []event, acts []recordAction) {
-	for i := range evs {
-		e.bk.finish(sh, evs[i], acts[i])
+// finishExpiry completes a liveLocked expiry after the shard lock dropped.
+func finishExpiry(e *tenantEntry, sh *valueShard, exp event, expAct recordAction, hasExp bool) {
+	if hasExp {
+		e.bk.finish(sh, exp, expAct)
 	}
 }
 
 // Get returns the value stored under key for the tenant and whether it was
-// present (and unexpired).
+// present (and unexpired). The returned slice is a caller-owned copy.
 func (s *Store) Get(tenant, key string) ([]byte, bool, error) {
 	it, ok, err := s.GetItem(tenant, key)
 	return it.Value, ok, err
@@ -451,9 +555,12 @@ func (s *Store) GetWithCAS(tenant, key string) ([]byte, uint64, bool, error) {
 }
 
 // GetItem returns the full item record — value, flags, CAS token — stored
-// under key, lazily expiring it if its TTL lapsed. The common case (no dead
-// record to shed) stays on a scalar fast path: one stack-allocated lookup
-// event and, for never-expiring records, no clock read under the shard lock.
+// under key, lazily expiring it if its TTL lapsed. The value is copied out
+// under the shard lock (the resident bytes live in a recycled arena chunk
+// that an eviction may reuse the moment the lock drops), so the returned
+// Item is caller-owned. The common case (no dead record to shed) stays on a
+// scalar fast path: one stack-allocated lookup event and, for never-expiring
+// records, no clock read under the shard lock.
 func (s *Store) GetItem(tenant, key string) (Item, bool, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
@@ -464,7 +571,7 @@ func (s *Store) GetItem(tenant, key string) (Item, bool, error) {
 	it := sh.items[key]
 	if it != nil && s.deadNow(e, it) {
 		// Slow path: shed the dead record, then account the miss.
-		exp := expireLocked(sh, key, it)
+		exp := e.expireLocked(sh, key, it)
 		expAct := e.bk.bufferLocked(sh, &exp)
 		ev := event{kind: evLookup, key: key, size: lookupSize(key, nil)}
 		act := e.bk.bufferLocked(sh, &ev)
@@ -481,7 +588,7 @@ func (s *Store) GetItem(tenant, key string) (Item, bool, error) {
 	act := e.bk.bufferLocked(sh, &ev)
 	var out Item
 	if it != nil {
-		out = Item{Value: it.value, Flags: it.flags, CAS: it.cas}
+		out = Item{Value: append([]byte(nil), it.value...), Flags: it.flags, CAS: it.cas}
 	}
 	sh.mu.Unlock()
 	e.bk.finish(sh, ev, act)
@@ -498,44 +605,64 @@ func lookupSize(key string, it *item) int64 {
 	return it.size
 }
 
-// GetItemBytes is GetItem with a caller-owned []byte key: the map lookup
-// rides Go's allocation-free m[string(b)] optimization, and on a hit the
-// bookkeeping event reuses the record's interned key string, so a
-// steady-state hit performs zero heap allocations in this layer. A miss
+// GetItemInto is the zero-allocation read path: a byte-keyed lookup that
+// copies the value into dst (grown as needed) under the shard lock. The
+// resident bytes live in a recycled arena chunk, so the copy-out is what
+// makes streaming them safe — by the time the lock drops and the server
+// writes the buffer to the wire, an eviction replay is free to hand the
+// chunk to the next admission. It returns the item (whose Value field is
+// dst's filled prefix on a hit and nil on a miss) and the possibly-grown
+// buffer, which the caller should pass back on the next call so growth
+// amortizes to zero.
+//
+// The map lookup rides Go's allocation-free m[string(b)] optimization, and
+// on a hit the bookkeeping event reuses the record's interned key string, so
+// a steady-state hit performs zero heap allocations in this layer. A miss
 // materializes one key string for the lookup event (the key might still be
 // resident in a shadow queue, so the real key must reach the tenant).
-func (s *Store) GetItemBytes(tenant string, key []byte) (Item, bool, error) {
+func (s *Store) GetItemInto(tenant string, key, dst []byte) (Item, []byte, bool, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
-		return Item{}, false, ErrNoTenant{tenant}
+		return Item{}, dst, false, ErrNoTenant{tenant}
 	}
 	sh := e.shardForBytes(key)
 	sh.mu.Lock()
 	it := sh.items[string(key)]
 	if it != nil && s.deadNow(e, it) {
 		// Slow path: shed the dead record, then account the miss. The dead
-		// record's interned key serves both events.
-		exp := expireLocked(sh, it.key, it)
+		// record's interned key serves both events (captured before
+		// expireLocked recycles the record).
+		ikey := it.key
+		exp := e.expireLocked(sh, ikey, it)
 		expAct := e.bk.bufferLocked(sh, &exp)
-		ev := event{kind: evLookup, key: it.key, size: int64(len(key))}
+		ev := event{kind: evLookup, key: ikey, size: int64(len(key))}
 		act := e.bk.bufferLocked(sh, &ev)
 		sh.mu.Unlock()
 		e.bk.finish(sh, exp, expAct)
 		e.bk.finish(sh, ev, act)
-		return Item{}, false, nil
+		return Item{}, dst, false, nil
 	}
 	var ev event
 	var out Item
 	if it != nil {
 		ev = event{kind: evLookup, key: it.key, size: it.size}
-		out = Item{Value: it.value, Flags: it.flags, CAS: it.cas}
+		dst = append(dst[:0], it.value...)
+		out = Item{Value: dst, Flags: it.flags, CAS: it.cas}
 	} else {
 		ev = event{kind: evLookup, key: string(key), size: int64(len(key))}
 	}
 	act := e.bk.bufferLocked(sh, &ev)
 	sh.mu.Unlock()
 	e.bk.finish(sh, ev, act)
-	return out, it != nil, nil
+	return out, dst, it != nil, nil
+}
+
+// GetItemBytes is GetItemInto without a reusable destination: the value
+// comes back in a fresh caller-owned copy (one allocation per hit). Callers
+// on the hot path should hold a buffer and use GetItemInto directly.
+func (s *Store) GetItemBytes(tenant string, key []byte) (Item, bool, error) {
+	it, _, ok, err := s.GetItemInto(tenant, key, nil)
+	return it, ok, err
 }
 
 // Set stores value under key for the tenant, evicting older entries as
@@ -567,21 +694,20 @@ func (s *Store) SetItem(tenant, key string, value []byte, flags uint32, exptime 
 }
 
 // SetItemBytes is SetItem for a caller-owned key and value (the server's
-// reusable parse buffers): the value is copied, and the key string is
-// materialized only here, at map insertion — re-setting a resident key reuses
-// its interned key. This is the single allocation site of the steady-state
-// request path.
+// reusable parse buffers): the value is copied into a recycled arena chunk
+// under the shard lock, and the key string is materialized only at map
+// insertion — re-setting a resident key reuses its interned key, its record
+// and (within a slab class) its chunk, so the steady-state SET allocates
+// nothing.
 func (s *Store) SetItemBytes(tenant string, key, value []byte, flags uint32, exptime int64) error {
 	e, ok := s.entry(tenant)
 	if !ok {
 		return ErrNoTenant{tenant}
 	}
-	size := int64(len(key) + len(value))
+	size := int64(len(key)) + int64(len(value))
 	if _, fits := e.tenant.ClassFor(size); !fits {
 		return errTooLarge(string(key), size)
 	}
-	v := make([]byte, len(value))
-	copy(v, value)
 	sh := e.shardForBytes(key)
 	sh.mu.Lock()
 	prev := sh.items[string(key)]
@@ -591,7 +717,7 @@ func (s *Store) SetItemBytes(tenant string, key, value []byte, flags uint32, exp
 	} else {
 		ks = string(key)
 	}
-	return s.commitSetLocked(e, sh, tenant, ks, prev, v, flags, exptime)
+	return s.commitSetLocked(e, sh, tenant, ks, prev, value, flags, exptime)
 }
 
 // commitSetLocked is the shared tail of SetItem and SetItemBytes: it installs
@@ -630,49 +756,51 @@ func (e *tenantEntry) admitOutcome(tenant string, sh *valueShard, ev event) erro
 // storeMutation finishes a mutation that produced a new record: the event is
 // buffered, and its application is either deferred to the bookkeeper (async)
 // or performed before returning (sync). The caller must hold sh.mu with
-// evs/acts holding any expiry events already buffered in the same critical
-// section; storeMutation unlocks sh.mu.
-func (s *Store) storeMutation(e *tenantEntry, sh *valueShard, tenant string, ev event, evs []event, acts []recordAction) error {
-	acts = append(acts, e.bufferMutationLocked(sh, &ev))
-	evs = append(evs, ev)
+// exp/expAct/hasExp carrying any expiry liveLocked buffered in the same
+// critical section; storeMutation unlocks sh.mu.
+func (s *Store) storeMutation(e *tenantEntry, sh *valueShard, tenant string, ev event, exp event, expAct recordAction, hasExp bool) error {
+	act := e.bufferMutationLocked(sh, &ev)
 	sh.mu.Unlock()
-	finishAll(e, sh, evs, acts)
+	finishExpiry(e, sh, exp, expAct, hasExp)
+	e.bk.finish(sh, ev, act)
 	return e.admitOutcome(tenant, sh, ev)
 }
 
 // mutate is the shared locked read-modify-write path of Add, Replace,
-// Append, Prepend, CompareAndSwap, Incr and Decr: decide receives the live
-// record (nil when the key is absent or just expired) and returns the new
-// value, flags and expiry, or store=false to leave the record untouched.
-// mutate reports whether a new record was stored.
+// CompareAndSwap, Incr and Decr: decide receives the live record (nil when
+// the key is absent or just expired) and returns the new value, flags and
+// expiry, or store=false to leave the record untouched. mutate reports
+// whether a new record was stored.
+//
+// decide runs under the shard lock, so it may read live.value — but the
+// value it returns must NOT alias live.value: setLocked copies it into the
+// record's (possibly reused) chunk, and an aliasing copy would tear.
+// Append/prepend, which inherently alias, assemble in the chunk directly
+// (see concat).
 func (s *Store) mutate(tenant, key string, decide func(live *item) (value []byte, flags uint32, expires int64, store bool, err error)) (bool, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
 		return false, ErrNoTenant{tenant}
 	}
 	sh := e.shardFor(key)
-	var (
-		evs  []event
-		acts []recordAction
-	)
 	sh.mu.Lock()
-	it := s.liveLocked(e, sh, key, &evs, &acts)
+	it, exp, expAct, hasExp := s.liveLocked(e, sh, key)
 	value, flags, expires, doStore, err := decide(it)
 	if err != nil || !doStore {
 		sh.mu.Unlock()
-		finishAll(e, sh, evs, acts)
+		finishExpiry(e, sh, exp, expAct, hasExp)
 		return false, err
 	}
 	if _, fits := e.tenant.ClassFor(int64(len(key) + len(value))); !fits {
 		sh.mu.Unlock()
-		finishAll(e, sh, evs, acts)
+		finishExpiry(e, sh, exp, expAct, hasExp)
 		return false, errTooLarge(key, int64(len(key)+len(value)))
 	}
 	// A record liveLocked shed is already structurally re-admitted via its
 	// expiry event plus this fresh admit; a surviving one is re-admitted
 	// with its old charge attached.
 	ev := e.setLocked(sh, key, it, value, flags, expires, s.cfg.Now())
-	if err := s.storeMutation(e, sh, tenant, ev, evs, acts); err != nil {
+	if err := s.storeMutation(e, sh, tenant, ev, exp, expAct, hasExp); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -712,19 +840,122 @@ func (s *Store) Prepend(tenant, key string, prefix []byte) (bool, error) {
 	return s.concat(tenant, key, prefix, true)
 }
 
+// AppendBytes is Append with a caller-owned key (the server's parse buffer):
+// a hit reuses the record's interned key string, so the steady-state append
+// performs zero heap allocations end to end.
+func (s *Store) AppendBytes(tenant string, key, suffix []byte) (bool, error) {
+	return s.concatBytes(tenant, key, suffix, false)
+}
+
+// PrependBytes is Prepend with a caller-owned key.
+func (s *Store) PrependBytes(tenant string, key, prefix []byte) (bool, error) {
+	return s.concatBytes(tenant, key, prefix, true)
+}
+
+// concat implements append/prepend by assembling the concatenation directly
+// in the destination chunk — no intermediate buffer. When the grown charged
+// size stays in the record's slab class the chunk already has room (a chunk
+// fits any value of its class) and the bytes are added in place; a prepend's
+// shift of the existing value is an overlapping copy, which Go's copy
+// handles (memmove semantics). Only a class-crossing growth swaps chunks
+// through the freelists, so a steady-state append loop allocates nothing.
 func (s *Store) concat(tenant, key string, extra []byte, front bool) (bool, error) {
-	return s.mutate(tenant, key, func(live *item) ([]byte, uint32, int64, bool, error) {
-		if live == nil {
-			return nil, 0, 0, false, nil
-		}
-		nv := make([]byte, 0, len(live.value)+len(extra))
+	e, ok := s.entry(tenant)
+	if !ok {
+		return false, ErrNoTenant{tenant}
+	}
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	it, exp, expAct, hasExp := s.liveLocked(e, sh, key)
+	if it == nil {
+		sh.mu.Unlock()
+		finishExpiry(e, sh, exp, expAct, hasExp)
+		return false, nil
+	}
+	// liveLocked only buffers an expiry when it returns nil, so a live
+	// record means there is nothing pending to finish.
+	return s.concatLocked(e, sh, tenant, it, extra, front)
+}
+
+// concatBytes is concat with a caller-owned byte key: the map lookup rides
+// the alloc-free m[string(b)] form and a hit proceeds under the record's
+// interned key.
+func (s *Store) concatBytes(tenant string, key, extra []byte, front bool) (bool, error) {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return false, ErrNoTenant{tenant}
+	}
+	sh := e.shardForBytes(key)
+	sh.mu.Lock()
+	it := sh.items[string(key)]
+	if it != nil && s.deadNow(e, it) {
+		exp := e.expireLocked(sh, it.key, it)
+		expAct := e.bk.bufferLocked(sh, &exp)
+		sh.mu.Unlock()
+		e.bk.finish(sh, exp, expAct)
+		return false, nil
+	}
+	if it == nil {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	return s.concatLocked(e, sh, tenant, it, extra, front)
+}
+
+// concatLocked is the shared tail of concat and concatBytes: it grows the
+// live record's value by extra in the arena and finishes the mutation. The
+// caller must hold sh.mu — released here — with no expiry left pending on
+// the shard's behalf (a dead record was shed and reported before reaching
+// this point); key strings come from the record itself (interned).
+func (s *Store) concatLocked(e *tenantEntry, sh *valueShard, tenant string, it *item, extra []byte, front bool) (bool, error) {
+	key := it.key
+	oldLen := len(it.value)
+	newSize := it.size + int64(len(extra))
+	if _, fits := e.tenant.ClassFor(newSize); !fits {
+		sh.mu.Unlock()
+		return false, errTooLarge(key, newSize)
+	}
+	oldSize := it.size
+	oldClass, okOld := e.arena.classFor(oldSize)
+	newClass, okNew := e.arena.classFor(newSize)
+	newLen := oldLen + len(extra)
+	if (okOld && okNew && oldClass == newClass) || (!okOld && !okNew && cap(it.value) >= newLen) {
+		// Same class: extend in place inside the current chunk.
+		it.value = it.value[:newLen]
 		if front {
-			nv = append(append(nv, extra...), live.value...)
+			copy(it.value[len(extra):], it.value[:oldLen])
+			copy(it.value, extra)
 		} else {
-			nv = append(append(nv, live.value...), extra...)
+			copy(it.value[oldLen:], extra)
 		}
-		return nv, live.flags, live.expires, true, nil
-	})
+	} else {
+		// Class-crossing growth: assemble in the new class's chunk, then
+		// recycle the old one.
+		nv := e.newValueLocked(sh, newSize, newLen)
+		if front {
+			copy(nv, extra)
+			copy(nv[len(extra):], it.value[:oldLen])
+		} else {
+			copy(nv, it.value[:oldLen])
+			copy(nv[oldLen:], extra)
+		}
+		e.freeValueLocked(sh, oldSize, it.value)
+		it.value = nv
+	}
+	sh.casCounter++
+	it.cas = sh.casCounter
+	it.size = newSize
+	it.setAt = s.cfg.Now()
+	var ev event
+	if oldSize != newSize {
+		ev = event{kind: evReAdmit, key: key, size: newSize, oldSize: oldSize}
+	} else {
+		ev = event{kind: evAdmit, key: key, size: newSize}
+	}
+	if err := s.storeMutation(e, sh, tenant, ev, event{}, actNone, false); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // CompareAndSwap stores value only if key's record still carries the given
@@ -757,22 +988,18 @@ func (s *Store) Touch(tenant, key string, exptime int64) (bool, error) {
 	}
 	expires := s.deadline(exptime)
 	sh := e.shardFor(key)
-	var (
-		evs  []event
-		acts []recordAction
-	)
 	sh.mu.Lock()
-	it := s.liveLocked(e, sh, key, &evs, &acts)
+	it, exp, expAct, hasExp := s.liveLocked(e, sh, key)
 	if it != nil {
 		it.expires = expires
 	}
 	// A touch refreshes recency in the eviction queues but is accounted
 	// into its own counters (cmd_touch/touch_hits), never the GET hit rate.
 	ev := event{kind: evTouch, key: key, size: lookupSize(key, it)}
-	acts = append(acts, e.bk.bufferLocked(sh, &ev))
-	evs = append(evs, ev)
+	act := e.bk.bufferLocked(sh, &ev)
 	sh.mu.Unlock()
-	finishAll(e, sh, evs, acts)
+	finishExpiry(e, sh, exp, expAct, hasExp)
+	e.bk.finish(sh, ev, act)
 	return it != nil, nil
 }
 
@@ -819,27 +1046,32 @@ func (s *Store) incrDecr(tenant, key string, delta uint64, negative bool) (uint6
 }
 
 // Delete removes key from the tenant, reporting whether it was present (an
-// expired record is reaped and reported as absent).
+// expired record is reaped and reported as absent). The record's chunk and
+// the record itself go back to the freelists.
 func (s *Store) Delete(tenant, key string) (bool, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
 		return false, ErrNoTenant{tenant}
 	}
 	sh := e.shardFor(key)
-	var (
-		evs  []event
-		acts []recordAction
-	)
 	sh.mu.Lock()
-	it := s.liveLocked(e, sh, key, &evs, &acts)
+	it, exp, expAct, hasExp := s.liveLocked(e, sh, key)
+	var (
+		rm    event
+		rmAct recordAction
+	)
 	if it != nil {
 		delete(sh.items, key)
-		ev := event{kind: evRemove, key: key, size: it.size}
-		acts = append(acts, e.bk.bufferLocked(sh, &ev))
-		evs = append(evs, ev)
+		rm = event{kind: evRemove, key: key, size: it.size}
+		rmAct = e.bk.bufferLocked(sh, &rm)
+		e.freeValueLocked(sh, it.size, it.value)
+		sh.putItemLocked(it)
 	}
 	sh.mu.Unlock()
-	finishAll(e, sh, evs, acts)
+	finishExpiry(e, sh, exp, expAct, hasExp)
+	if it != nil {
+		e.bk.finish(sh, rm, rmAct)
+	}
 	return it != nil, nil
 }
 
@@ -874,30 +1106,43 @@ func (s *Store) FlushTenant(tenant string) error {
 	return s.flushNow(e)
 }
 
-// flushNow physically removes every record of the tenant. The pending
-// delayed-flush deadline (if any) is cleared first: memcached's flush_all
-// replaces an armed deadline, so items written after this call must survive
-// the old one.
+// flushNow physically removes every record of the tenant, recycling chunks
+// and records as it goes. The pending delayed-flush deadline (if any) is
+// cleared first: memcached's flush_all replaces an armed deadline, so items
+// written after this call must survive the old one.
+//
+// The removals go through the same per-shard event buffers as every other
+// structural event — NOT directly against the tenant — so they serialize in
+// arrival order with racing mutations on the same keys. (A direct replay
+// used to let a concurrent SET's still-buffered admission apply after the
+// flush's removal, leaving a structural entry whose record the flush had
+// already dropped — a permanent UsedBytes leak.)
 func (s *Store) flushNow(e *tenantEntry) error {
 	e.flushAt.Store(0)
-	// Settle in-flight bookkeeping so the structural removals below see
-	// every admission.
+	// Settle in-flight bookkeeping first to keep the flush's own event burst
+	// small; correctness comes from the per-shard buffer order alone.
 	e.bk.flush()
-	var evs []event
+	var (
+		evs  []event
+		acts []recordAction
+	)
 	for i := range e.shards {
 		sh := &e.shards[i]
+		evs, acts = evs[:0], acts[:0]
 		sh.mu.Lock()
 		for k, it := range sh.items {
-			evs = append(evs, event{kind: evRemove, key: k, size: it.size})
+			delete(sh.items, k)
+			ev := event{kind: evRemove, key: k, size: it.size}
+			acts = append(acts, e.bk.bufferLocked(sh, &ev))
+			evs = append(evs, ev)
+			e.freeValueLocked(sh, it.size, it.value)
+			sh.putItemLocked(it)
 		}
-		sh.items = make(map[string]*item)
 		sh.mu.Unlock()
+		for j := range evs {
+			e.bk.finish(sh, evs[j], acts[j])
+		}
 	}
-	e.bk.mu.Lock()
-	for _, ev := range evs {
-		e.tenant.Delete(ev.key, ev.size)
-	}
-	e.bk.mu.Unlock()
 	return nil
 }
 
@@ -935,6 +1180,18 @@ func (s *Store) Stats(tenant string) (TenantStats, error) {
 	e.bk.mu.Lock()
 	defer e.bk.mu.Unlock()
 	return e.tenant.Stats(), nil
+}
+
+// SlabStats returns the tenant's per-class arena occupancy: chunk size,
+// carved pages, and used/free chunk counts (the data behind the protocol's
+// "stats slabs"). Under live traffic the used/free split is approximate; on
+// a quiesced store used + free == pages * chunks-per-page exactly.
+func (s *Store) SlabStats(tenant string) ([]ArenaClassStats, error) {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return nil, ErrNoTenant{tenant}
+	}
+	return e.arena.stats(), nil
 }
 
 // QueueSnapshots returns the per-queue Cliffhanger state of the tenant

@@ -677,12 +677,15 @@ func TestStoreSnapshotsRaceWithTraffic(t *testing.T) {
 	wg.Wait()
 }
 
-// BenchmarkStoreGetSet measures Get/Set throughput (90% GET / 10% SET over
-// a resident working set) on a single hot tenant at increasing goroutine
-// counts. With the striped value shards and off-path bookkeeping the
-// per-goroutine streams only meet on the shared event channel once per
-// batch, so throughput scales with cores (the interesting ratio is
-// goroutines=8 vs goroutines=1 ns/op on a machine with >= 8 cores).
+// BenchmarkStoreGetSet measures hot-path Get/Set throughput (90% GET / 10%
+// SET over a resident working set) on a single hot tenant at increasing
+// goroutine counts, on the byte-keyed entry points the server drives
+// (GetItemInto with a reused copy-out buffer, SetItemBytes): reads copy out
+// under the shard lock, writes land in recycled arena chunks. With the
+// striped value shards and off-path bookkeeping the per-goroutine streams
+// only meet on the shared event channel once per batch, so throughput scales
+// with cores (the interesting ratio is goroutines=8 vs goroutines=1 ns/op on
+// a machine with >= 8 cores).
 func BenchmarkStoreGetSet(b *testing.B) {
 	for _, g := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
@@ -694,10 +697,10 @@ func BenchmarkStoreGetSet(b *testing.B) {
 			}
 			value := make([]byte, 256)
 			const nKeys = 1 << 15
-			keys := make([]string, nKeys)
+			keys := make([][]byte, nKeys)
 			for i := range keys {
-				keys[i] = fmt.Sprintf("key-%d", i)
-				if err := s.Set("hot", keys[i], value); err != nil {
+				keys[i] = []byte(fmt.Sprintf("key-%d", i))
+				if err := s.SetItemBytes("hot", keys[i], value, 0, 0); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -709,15 +712,17 @@ func BenchmarkStoreGetSet(b *testing.B) {
 				wg.Add(1)
 				go func(worker int) {
 					defer wg.Done()
+					vbuf := make([]byte, 0, len(value))
 					// Stride through a worker-private region of the keyspace
 					// so goroutines rarely collide on one key.
 					idx := worker * (nKeys / 8)
 					for i := 0; i < per; i++ {
 						k := keys[(idx+i*7)&(nKeys-1)]
 						if i%10 == 0 {
-							s.Set("hot", k, value)
+							s.SetItemBytes("hot", k, value, 0, 0)
 						} else {
-							s.Get("hot", k)
+							_, buf, _, _ := s.GetItemInto("hot", k, vbuf)
+							vbuf = buf
 						}
 					}
 				}(w)

@@ -18,7 +18,12 @@
 //     tenant's values live in an N-way key-hash-sharded table with striped
 //     locks, so GET/SET traffic for independent keys of one hot application
 //     proceeds in parallel across cores; the tenant registry itself is a
-//     copy-on-write map read without locks.
+//     copy-on-write map read without locks. Value bytes live in a per-tenant
+//     slab arena (arena.go): 1 MiB pages carved into per-class chunk
+//     freelists, recycled on eviction/expiry/delete/flush instead of handed
+//     to the GC, with item records pooled per shard — the mutation path
+//     allocates nothing in the steady state, and reads copy values out
+//     under the shard lock so a recycled chunk can never be observed.
 //
 //   - bookkeeper (bookkeeper.go) is the accounting plane. All structural
 //     consequences of a request — shadow-queue updates, hill-climbing credit
