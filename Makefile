@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bins conformance alloccheck fuzz replay verify clean
+.PHONY: build test race race4 vet fmt bench bins conformance alloccheck fuzz replay verify clean
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race4 exercises the epoch-reclamation races (pin vs retire vs reclaim) with
+# real parallelism; CI runs this as its own lane.
+race4:
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/store/...
 
 vet:
 	$(GO) vet ./...
@@ -22,12 +27,12 @@ conformance:
 
 # alloccheck runs the testing.AllocsPerRun gates that pin the hot-path
 # allocation floors (GET hit = 0 through protocol+server+store with the value
-# copied out of its arena chunk into the session buffer; GET miss = 1; SET,
-# cross-class re-set and append/prepend = 0 — value chunks recycled through
-# the slab arena, item records pooled per shard; set+delete churn <= 1;
-# streaming client pipelined GET <= 1 amortized over a real socket). An
-# accidental allocation on the mutation path fails the build, not a future
-# benchmark run.
+# streamed zero-copy from an epoch-pinned arena view; GET miss = 0 — the
+# lookup event's key rides a pooled per-shard buffer; SET, cross-class re-set
+# and append/prepend = 0 — value chunks recycled through the slab arena, item
+# records pooled per shard; set+delete churn <= 1; streaming client pipelined
+# GET <= 1 amortized over a real socket). An accidental allocation on the
+# mutation path fails the build, not a future benchmark run.
 alloccheck:
 	$(GO) test -count=1 -run 'TestAllocGate' -v ./internal/server/ ./internal/store/ ./internal/client/
 
@@ -39,6 +44,7 @@ fuzz:
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkStoreGetSet -benchmem ./internal/store/
+	$(GO) test -run=NONE -bench=BenchmarkStoreReadMostly -benchmem ./internal/store/
 	$(GO) test -run=NONE -bench=BenchmarkStoreWriteHeavy -benchmem ./internal/store/
 	$(GO) test -run=NONE -bench=BenchmarkServerPipelined -benchmem ./internal/server/
 

@@ -5,6 +5,12 @@
 //
 //	cliffhangerd -addr :11211 -tenants default:64,app2:32 -mode cliffhanger
 //
+// Pass -pprof-addr to expose the net/http/pprof profiling endpoints on a
+// side HTTP listener, e.g.:
+//
+//	cliffhangerd -addr :11211 -pprof-addr :6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
 // Clients speak the standard memcached text verbs — get/gets, set, add,
 // replace, append, prepend, cas, touch, incr/decr, delete, stats,
 // flush_all — plus the non-standard "tenant <name>" verb to select an
@@ -17,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"strconv"
@@ -38,6 +46,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "value shards per tenant (0 = default)")
 		syncBk    = flag.Bool("sync-bookkeeping", false, "apply Cliffhanger bookkeeping inline on the request path (slower, deterministic)")
 		statsIntv = flag.Duration("stats-interval", 0, "interval for logging throughput and hit rates (0 disables)")
+		pprofAddr = flag.String("pprof-addr", "", "HTTP listen address for net/http/pprof profiling endpoints (empty disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cliffhangerd: ", log.LstdFlags)
@@ -73,6 +82,13 @@ func main() {
 		logger.Fatal(err)
 	}
 	logger.Printf("listening on %s", srv.Addr())
+
+	if *pprofAddr != "" {
+		go func() {
+			logger.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			logger.Printf("pprof server exited: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	if *statsIntv > 0 {
 		go logStats(logger, srv, st, *statsIntv)

@@ -13,13 +13,15 @@
 // replies are assembled into with strconv.Append*, and GET responses are
 // streamed one VALUE block at a time as keys are looked up (no []Value
 // buffering). Keys cross into the store as []byte via the byte-key entry
-// points (GetItemInto, SetItemBytes, AppendBytes/PrependBytes). Value bytes
-// live in the store's recycled slab-arena chunks: a GET copies them out into
-// the session's vbuf under the shard lock (the chunk may be reused the
-// moment the lock drops), and a SET copies the parse buffer into a recycled
-// chunk, so the only steady-state allocation anywhere on the path is the
-// interned key string of a first-time SET. The TestAllocGate tests pin this
-// with testing.AllocsPerRun.
+// points (GetItemView, SetItemBytes, AppendBytes/PrependBytes). Value bytes
+// live in the store's recycled slab-arena chunks and are streamed zero-copy:
+// a GET pins the arena epoch (store.GetItemView) and writes the borrowed
+// chunk view straight into the connection writer before releasing the pin —
+// epoch-based quarantine guarantees the chunk cannot be recycled while the
+// view is live — and a SET copies the parse buffer into a recycled chunk, so
+// the only steady-state allocation anywhere on the path is the interned key
+// string of a first-time SET. The TestAllocGate tests pin this with
+// testing.AllocsPerRun.
 package server
 
 import (
@@ -148,10 +150,11 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // session is the per-connection state: the buffered reader/writer, the
-// zero-copy parser with its reusable Command, the selected tenant, the
-// response scratch buffer and the value copy-out buffer. Everything a
-// command needs in the steady state is reused across commands, so the
-// request path does not allocate.
+// zero-copy parser with its reusable Command, the selected tenant and the
+// response scratch buffer. Value bytes are never copied into the session:
+// GET streams them from an epoch-pinned arena view. Everything a command
+// needs in the steady state is reused across commands, so the request path
+// does not allocate.
 type session struct {
 	srv     *Server
 	r       *bufio.Reader
@@ -159,21 +162,7 @@ type session struct {
 	parser  *protocol.Parser
 	tenant  string
 	scratch []byte
-	// vbuf receives value bytes copied out of the store under the shard
-	// lock (store.GetItemInto): resident values live in recycled arena
-	// chunks, so the bytes must be session-owned before they are streamed
-	// to the wire. Steady-state traffic reuses it; a single outsized value
-	// cannot pin its worst case for the connection's lifetime (see
-	// maxRetainedVBuf in step).
-	vbuf []byte
 }
-
-// maxRetainedVBuf caps the value copy-out buffer a session keeps between
-// commands, mirroring the parser's scratch retention: values up to the cap
-// (the overwhelming steady state) reuse the buffer allocation-free, while a
-// connection that once read a near-1 MiB value does not pin that much heap
-// until it closes.
-const maxRetainedVBuf = 64 << 10
 
 // newSession builds a session over the given buffered reader and writer.
 func newSession(s *Server, r *bufio.Reader, w *bufio.Writer) *session {
@@ -209,9 +198,6 @@ func (s *Server) serveConn(conn net.Conn) {
 // i.e. right before the next read could block. A closed-loop client (one
 // request at a time) still gets a flush per request.
 func (c *session) step() bool {
-	if cap(c.vbuf) > maxRetainedVBuf {
-		c.vbuf = nil
-	}
 	cmd, err := c.parser.ReadCommand()
 	if err != nil {
 		if errors.Is(err, protocol.ErrQuit) || errors.Is(err, io.EOF) {
@@ -287,15 +273,15 @@ func (s *Server) handle(c *session, cmd *protocol.Command) error {
 
 // handleGet streams one VALUE block per present key as it is looked up —
 // no []Value is buffered — and terminates with END. The value bytes are
-// copied out of the arena chunk into the session's vbuf under the shard lock
-// (the chunk may be recycled the moment the lock drops); the VALUE header is
-// assembled into the session scratch with strconv appends.
+// written zero-copy from an epoch-pinned arena view (store.GetItemView):
+// the pin holds the chunk out of recycling while it is on loan to the
+// writer and is released as soon as the block is queued. The VALUE header
+// is assembled into the session scratch with strconv appends.
 func (s *Server) handleGet(c *session, cmd *protocol.Command) error {
 	withCAS := cmd.Name == protocol.VerbGets
 	for _, key := range cmd.Keys {
 		start := nowNano()
-		it, vbuf, ok, err := s.store.GetItemInto(c.tenant, key, c.vbuf)
-		c.vbuf = vbuf
+		view, ok, err := s.store.GetItemView(c.tenant, key)
 		s.GetLatency.Record(nowNano() - start)
 		if err != nil {
 			return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
@@ -303,15 +289,17 @@ func (s *Server) handleGet(c *session, cmd *protocol.Command) error {
 		if !ok {
 			continue
 		}
-		c.scratch = protocol.AppendValueHeader(c.scratch[:0], key, it.Flags, len(it.Value), it.CAS, withCAS)
-		if _, err := c.w.Write(c.scratch); err != nil {
-			return err
+		c.scratch = protocol.AppendValueHeader(c.scratch[:0], key, view.Flags, len(view.Value), view.CAS, withCAS)
+		_, werr := c.w.Write(c.scratch)
+		if werr == nil {
+			_, werr = c.w.Write(view.Value)
 		}
-		if _, err := c.w.Write(it.Value); err != nil {
-			return err
+		if werr == nil {
+			_, werr = c.w.WriteString("\r\n")
 		}
-		if _, err := c.w.WriteString("\r\n"); err != nil {
-			return err
+		view.Release()
+		if werr != nil {
+			return werr
 		}
 	}
 	_, err := c.w.WriteString("END\r\n")
@@ -453,20 +441,27 @@ func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 	if totalChunkBytes > 0 {
 		occupancy = float64(usedChunkBytes) / float64(totalChunkBytes)
 	}
-	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "arena_bytes", "arena_occupancy"}
+	// Epoch-based reclamation counters: the current global epoch, chunks
+	// sitting in quarantine awaiting recycle, and the lifetime count of
+	// frees that were deferred through quarantine.
+	rs, _ := s.store.ReclaimStats(c.tenant)
+	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "arena_bytes", "arena_occupancy", "epoch_current", "epoch_quarantined_chunks", "epoch_deferred_frees"}
 	stats := map[string]string{
-		"tenant":          c.tenant,
-		"cmd_get":         strconv.FormatInt(st.Requests, 10),
-		"get_hits":        strconv.FormatInt(st.Hits, 10),
-		"get_misses":      strconv.FormatInt(st.Misses, 10),
-		"hit_rate":        fmt.Sprintf("%.4f", st.HitRate()),
-		"cmd_set":         strconv.FormatInt(st.Sets, 10),
-		"cmd_touch":       strconv.FormatInt(st.Touches, 10),
-		"touch_hits":      strconv.FormatInt(st.TouchHits, 10),
-		"expired":         strconv.FormatInt(st.Expired, 10),
-		"ops_per_sec":     fmt.Sprintf("%.0f", s.Ops.Rate()),
-		"arena_bytes":     strconv.FormatInt(arenaBytes, 10),
-		"arena_occupancy": fmt.Sprintf("%.4f", occupancy),
+		"tenant":                   c.tenant,
+		"cmd_get":                  strconv.FormatInt(st.Requests, 10),
+		"get_hits":                 strconv.FormatInt(st.Hits, 10),
+		"get_misses":               strconv.FormatInt(st.Misses, 10),
+		"hit_rate":                 fmt.Sprintf("%.4f", st.HitRate()),
+		"cmd_set":                  strconv.FormatInt(st.Sets, 10),
+		"cmd_touch":                strconv.FormatInt(st.Touches, 10),
+		"touch_hits":               strconv.FormatInt(st.TouchHits, 10),
+		"expired":                  strconv.FormatInt(st.Expired, 10),
+		"ops_per_sec":              fmt.Sprintf("%.0f", s.Ops.Rate()),
+		"arena_bytes":              strconv.FormatInt(arenaBytes, 10),
+		"arena_occupancy":          fmt.Sprintf("%.4f", occupancy),
+		"epoch_current":            strconv.FormatUint(rs.Epoch, 10),
+		"epoch_quarantined_chunks": strconv.FormatInt(rs.QuarantinedChunks, 10),
+		"epoch_deferred_frees":     strconv.FormatInt(rs.DeferredFrees, 10),
 	}
 	for _, cl := range st.Classes {
 		k := fmt.Sprintf("class_%d_hit_rate", cl.Class)
@@ -482,8 +477,8 @@ func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 
 // handleStatsSlabs serves the memcached "stats slabs" sub-command from the
 // tenant's arena accounting: per active class the chunk size, carved pages
-// and used/free chunk counts, then the cross-class page count and total
-// arena bytes (memcached's active_slabs / total_malloced footer).
+// and used/free/quarantined chunk counts, then the cross-class page count
+// and total arena bytes (memcached's active_slabs / total_malloced footer).
 func (s *Server) handleStatsSlabs(c *session) error {
 	classes, err := s.store.SlabStats(c.tenant)
 	if err != nil {
@@ -510,6 +505,7 @@ func (s *Server) handleStatsSlabs(c *session) error {
 		add(prefix+":total_chunks", strconv.FormatInt(cl.TotalChunks, 10))
 		add(prefix+":used_chunks", strconv.FormatInt(cl.UsedChunks, 10))
 		add(prefix+":free_chunks", strconv.FormatInt(cl.FreeChunks, 10))
+		add(prefix+":quarantined_chunks", strconv.FormatInt(cl.QuarantinedChunks, 10))
 		add(prefix+":mem_requested", strconv.FormatInt(cl.UsedChunks*cl.ChunkSize, 10))
 	}
 	add("active_slabs", strconv.Itoa(active))

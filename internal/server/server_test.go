@@ -137,6 +137,17 @@ func TestServerTenantIsolationAndStats(t *testing.T) {
 	if stats["cmd_set"] == "" || stats["hit_rate"] == "" {
 		t.Fatalf("stats missing fields: %v", stats)
 	}
+	// Epoch-reclamation counters reach the client: epoch_current is at least
+	// the arena's initial epoch (1), and the other two parse as integers.
+	if epoch, err := strconv.ParseUint(stats["epoch_current"], 10, 64); err != nil || epoch == 0 {
+		t.Fatalf("stats epoch_current = %q (%v), want a positive integer", stats["epoch_current"], err)
+	}
+	if _, err := strconv.ParseInt(stats["epoch_quarantined_chunks"], 10, 64); err != nil {
+		t.Fatalf("stats epoch_quarantined_chunks = %q: %v", stats["epoch_quarantined_chunks"], err)
+	}
+	if _, err := strconv.ParseInt(stats["epoch_deferred_frees"], 10, 64); err != nil {
+		t.Fatalf("stats epoch_deferred_frees = %q: %v", stats["epoch_deferred_frees"], err)
+	}
 	slabs, err := c2.StatsSlabs()
 	if err != nil {
 		t.Fatal(err)
@@ -144,14 +155,20 @@ func TestServerTenantIsolationAndStats(t *testing.T) {
 	if slabs["active_slabs"] == "" || slabs["total_malloced"] == "" {
 		t.Fatalf("stats slabs missing totals: %v", slabs)
 	}
-	sawClass := false
+	sawClass, sawQuarantined := false, false
 	for k := range slabs {
 		if strings.HasSuffix(k, ":used_chunks") {
 			sawClass = true
 		}
+		if strings.HasSuffix(k, ":quarantined_chunks") {
+			sawQuarantined = true
+		}
 	}
 	if !sawClass {
 		t.Fatalf("stats slabs reports no class lines for a tenant with a resident value: %v", slabs)
+	}
+	if !sawQuarantined {
+		t.Fatalf("stats slabs reports no quarantined_chunks lines: %v", slabs)
 	}
 	if err := c2.FlushAll(); err != nil {
 		t.Fatal(err)
@@ -470,6 +487,7 @@ func TestServerProtocolConformance(t *testing.T) {
 	}
 	send("stats\r\n")
 	sawEnd := false
+	sawEpoch := false
 	for i := 0; i < 64; i++ {
 		line, err := r.ReadString('\n')
 		if err != nil {
@@ -483,9 +501,15 @@ func TestServerProtocolConformance(t *testing.T) {
 		if !strings.HasPrefix(l, "STAT ") {
 			t.Fatalf("stats line = %q", l)
 		}
+		if strings.HasPrefix(l, "STAT epoch_current ") {
+			sawEpoch = true
+		}
 	}
 	if !sawEnd {
 		t.Fatalf("stats response not terminated by END")
+	}
+	if !sawEpoch {
+		t.Fatalf("stats response missing epoch_current")
 	}
 
 	// stats slabs: per-class arena occupancy from the slab-arena accounting.

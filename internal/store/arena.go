@@ -5,39 +5,63 @@ package store
 // 1 MiB pages (slab.Geometry.PageSize) into fixed-size chunks, one chunk pool
 // per slab class, exactly like memcached's slab allocator. A stored item's
 // value bytes live in a chunk of the class its charged size (key+value) maps
-// to; on eviction, expiry, delete, flush and cross-class re-set the chunk
-// goes back on a freelist instead of to the GC, so a churning write-heavy
-// workload recycles a fixed set of pages instead of continuously allocating.
+// to; on eviction, expiry, delete, flush and re-set the chunk is recycled
+// instead of handed to the GC, so a churning write-heavy workload reuses a
+// fixed set of pages instead of continuously allocating.
 //
 // Layout: chunks flow between a per-class central freelist and per-stripe
 // caches, one stripe per value shard (the Go runtime's mcache/mcentral
 // split). Alloc and free always run while the caller holds the owning value
 // shard's mutex, so a stripe's lock is effectively uncontended — it exists so
-// the stats/audit walk does not have to reach into shard locking. Refills and
-// flush-backs move chunks between a stripe and the central list in batches,
-// so even a stripe that only ever frees (or only ever allocates) touches the
-// central lock once per stripeRefill operations.
+// the stats/audit walk and the epoch reclaimer do not have to reach into
+// shard locking. Refills and flush-backs move chunks between a stripe and the
+// central list in batches, so even a stripe that only ever frees (or only
+// ever allocates) touches the central lock once per stripeRefill operations.
 //
-// Reclamation safety: a chunk must never be recycled while a reader can still
-// observe it. The store guarantees this by construction — every read copies
-// the value out under the shard lock (GetItemInto and friends), every free
-// happens under the same shard lock, and bookkeeping events carry key strings
-// and sizes, never chunk references — so by the time a chunk reaches a
-// freelist no goroutine can hold a view into it.
+// Reclamation safety — epoch-based quarantine: a chunk must never be recycled
+// while a reader can still observe it. Readers used to be forced to copy the
+// value out under the shard lock; now they pin instead. A reader that wants a
+// borrowed view of a chunk pins the current global epoch into its shard's pin
+// slot (pin, while still holding the shard mutex), captures the value slice,
+// releases the lock, streams or copies the bytes at leisure, and unpins. A
+// freed chunk is never pushed straight onto a freelist: freeChunk parks it on
+// its stripe's quarantine list stamped with the epoch current at retirement,
+// and only a reclaim pass that finds every active pin to be newer than the
+// stamp recycles it.
+//
+// Why that is safe: a shard's chunks are only ever retired while holding that
+// shard's mutex, and a reader publishes its pin before releasing the same
+// mutex. So for any chunk a reader can still see, pin-store happens-before
+// the retire, the retire's epoch stamp is >= the pinned epoch (the global
+// epoch only grows), and the reclaimer — which seals the quarantine by
+// holding the stripe mutex BEFORE scanning the pin slots — must observe
+// either the pin (stamp >= pinned epoch => not harvested) or the unpin (the
+// reader is done with the view). Sealing first is load-bearing: scanning
+// slots before taking the stripe lock could miss a pin published after the
+// scan while harvesting a chunk retired before it.
+//
+// The epoch advances on the bookkeeper's drain tick (async mode), on free
+// pressure (a refill that finds the central list dry advances and harvests
+// before carving a page — this is what keeps synchronous stores, which have
+// no drain goroutine, recycling), and when a stripe's quarantine hits its
+// high-water mark.
 //
 // Growth: pages are allocated lazily when a class's central freelist runs dry
 // and are never returned to the OS (memcached behaviour). Physical footprint
-// is bounded by peak residency: the structural eviction queues cap how many
-// chunks are ever live at once, and the freelists cap out at that peak.
+// is bounded by peak residency plus the transient quarantine (itself bounded
+// by quarantineHighWater per stripe between epoch advances).
 //
 // Lock order: bookkeeper.mu > valueShard.mu > arenaStripe.mu >
 // arenaCentral.mu. The arena never calls back into the store, so the order
-// cannot invert.
+// cannot invert. The one deliberate exception: the free-pressure path may
+// TryLock OTHER stripes' mutexes while holding its own to harvest their
+// quarantines; TryLock never blocks, so no cycle can deadlock.
 //
 // Values whose charged size exceeds the largest chunk (possible only under
 // the exact-size global-LRU layout, which admits items of any size) fall back
 // to plain heap allocations and are handed to the GC on free; the arena
-// accounting does not cover them.
+// accounting does not cover them, and pinned readers of such values are kept
+// safe by the GC itself (a retired heap buffer is never written again).
 
 import (
 	"fmt"
@@ -55,13 +79,40 @@ const (
 	// are flushed back to the central freelist, so a shard that only frees
 	// (e.g. one the reaper is draining) cannot strand a class's chunks.
 	stripeCap = 16
+	// quarantineHighWater is the per-stripe quarantined-chunk count at which
+	// the freeing caller advances the epoch and reclaims inline, bounding how
+	// much memory deferred frees can park between drain ticks.
+	quarantineHighWater = 128
+	// pinCountBits splits a pin slot's packed word: the low bits count the
+	// shard's active pinned readers, the high bits carry the epoch the oldest
+	// of them pinned. 16 bits allow 65535 concurrent readers per shard.
+	pinCountBits = 16
+	pinCountMask = (1 << pinCountBits) - 1
 )
+
+// pinSlot is one shard's reader-pin word: epoch<<pinCountBits | count,
+// padded out to a cache line so concurrent readers on different shards never
+// false-share.
+type pinSlot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
 
 // arena is one tenant's chunk allocator. Safe for concurrent use.
 type arena struct {
 	geom    *slab.Geometry
 	classes []arenaCentral
 	stripes []arenaStripe
+
+	// epoch is the global reclamation clock: it only ever advances. A chunk
+	// quarantined at epoch E may be recycled once every active pin is > E.
+	epoch atomic.Uint64
+	// slots holds one pin word per stripe (== per value shard).
+	slots []pinSlot
+	// deferredFrees counts chunks that ever went through quarantine (the
+	// epoch_deferred_frees stat): a monotone measure of how much reclamation
+	// the epoch discipline deferred.
+	deferredFrees atomic.Int64
 }
 
 // arenaCentral is one slab class's page store and central freelist.
@@ -75,15 +126,30 @@ type arenaCentral struct {
 	// cached per stripe's accounting moment: a chunk is used from the moment
 	// alloc hands it out until free takes it back). Updated outside the
 	// freelist locks, so live reads are approximate; after the store
-	// quiesces, used + free (central and stripe caches) == pages * perPage
-	// exactly — the conservation invariant the property test pins.
+	// quiesces, used + free + quarantined == pages * perPage exactly — the
+	// three-state conservation invariant the property test pins.
 	used atomic.Int64
+	// quarantined counts the class's chunks currently parked on stripe
+	// quarantine lists awaiting epoch reclamation.
+	quarantined atomic.Int64
 }
 
-// arenaStripe is one value shard's chunk cache, indexed by class.
+// quarChunk is one retired chunk awaiting reclamation: the chunk, its class,
+// and the global epoch at the moment it was freed. Within one stripe the
+// stamps are nondecreasing (pushes are serialized by the stripe mutex and the
+// epoch only grows), so the quarantine is harvested from the front.
+type quarChunk struct {
+	chunk []byte
+	class int
+	epoch uint64
+}
+
+// arenaStripe is one value shard's chunk cache plus its quarantine list,
+// indexed by class.
 type arenaStripe struct {
 	mu   sync.Mutex
 	free [][][]byte
+	quar []quarChunk
 }
 
 // newArena builds an arena over geom with one stripe per value shard.
@@ -92,7 +158,9 @@ func newArena(geom *slab.Geometry, stripes int) *arena {
 		geom:    geom,
 		classes: make([]arenaCentral, geom.NumClasses()),
 		stripes: make([]arenaStripe, stripes),
+		slots:   make([]pinSlot, stripes),
 	}
+	a.epoch.Store(1)
 	for c := range a.classes {
 		a.classes[c].chunkSize = geom.ChunkSize(c)
 		a.classes[c].perPage = geom.ChunksPerPage(c)
@@ -109,15 +177,122 @@ func (a *arena) classFor(size int64) (int, bool) {
 	return a.geom.ClassFor(size)
 }
 
+// pin publishes a reader on the given stripe at the current epoch. It MUST be
+// called while holding the owning value shard's mutex (that ordering is what
+// guarantees the reclaimer sees the pin before any retire of a chunk the
+// reader captured), and every pin must be paired with exactly one unpin once
+// the reader is done with the borrowed bytes. Nested pins keep the oldest
+// epoch, which is the conservative choice.
+func (a *arena) pin(stripe int) {
+	slot := &a.slots[stripe].v
+	for {
+		old := slot.Load()
+		var next uint64
+		if old&pinCountMask == 0 {
+			next = a.epoch.Load()<<pinCountBits | 1
+		} else {
+			next = old + 1
+		}
+		if slot.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// unpin retires one reader from the stripe's pin slot. A slot whose count
+// reaches zero is inactive regardless of the stale epoch bits it still
+// carries.
+func (a *arena) unpin(stripe int) {
+	a.slots[stripe].v.Add(^uint64(0))
+}
+
+// minPinned returns the oldest epoch any active reader holds, or the current
+// epoch when no reader is pinned. Chunks stamped strictly below the result
+// are unobservable and may be recycled.
+func (a *arena) minPinned() uint64 {
+	min := a.epoch.Load()
+	for i := range a.slots {
+		v := a.slots[i].v.Load()
+		if v&pinCountMask != 0 {
+			if e := v >> pinCountBits; e < min {
+				min = e
+			}
+		}
+	}
+	return min
+}
+
+// advanceEpoch ticks the global reclamation clock, making chunks quarantined
+// before the tick eligible as soon as no reader still pins the old epoch.
+func (a *arena) advanceEpoch() {
+	a.epoch.Add(1)
+}
+
+// reclaim harvests every stripe's quarantine. Called by the bookkeeper's
+// drain tick (after advanceEpoch) and by tests that force a settle.
+func (a *arena) reclaim() {
+	for i := range a.stripes {
+		st := &a.stripes[i]
+		st.mu.Lock()
+		a.reclaimStripeLocked(st)
+		st.mu.Unlock()
+	}
+}
+
+// reclaimStripeLocked recycles the prefix of the stripe's quarantine whose
+// stamps every active reader has advanced past. The caller must hold st.mu —
+// holding it is the seal that makes the slot scan sound: no new chunk can be
+// pushed while we scan, so any pin that could protect a quarantined chunk was
+// published before the scan and is observed by it.
+func (a *arena) reclaimStripeLocked(st *arenaStripe) {
+	if len(st.quar) == 0 {
+		return
+	}
+	min := a.minPinned()
+	n := 0
+	for n < len(st.quar) && st.quar[n].epoch < min {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		q := st.quar[i]
+		cache := append(st.free[q.class], q.chunk)
+		if len(cache) > stripeCap {
+			cache = a.flushLocked(q.class, cache)
+		}
+		st.free[q.class] = cache
+		a.classes[q.class].quarantined.Add(-1)
+	}
+	rest := copy(st.quar, st.quar[n:])
+	for i := rest; i < len(st.quar); i++ {
+		st.quar[i] = quarChunk{}
+	}
+	st.quar = st.quar[:rest]
+}
+
+// quarantinedChunks totals the chunks currently awaiting reclamation across
+// all classes (the epoch_quarantined_chunks stat, and the drain tick's
+// is-there-anything-to-do probe).
+func (a *arena) quarantinedChunks() int64 {
+	var n int64
+	for c := range a.classes {
+		n += a.classes[c].quarantined.Load()
+	}
+	return n
+}
+
 // alloc returns a full-length chunk of the given class, preferring the
-// stripe's cache, then the central freelist, then a freshly carved page.
+// stripe's cache, then the central freelist, then the stripe's own reclaimed
+// quarantine, then a freshly carved page.
 func (a *arena) alloc(stripe, class int) []byte {
 	st := &a.stripes[stripe]
 	st.mu.Lock()
-	cache := st.free[class]
-	if len(cache) == 0 {
-		cache = a.refillLocked(class, cache)
+	if len(st.free[class]) == 0 {
+		a.refillLocked(st, class)
 	}
+	cache := st.free[class]
 	n := len(cache) - 1
 	c := cache[n]
 	cache[n] = nil
@@ -127,11 +302,44 @@ func (a *arena) alloc(stripe, class int) []byte {
 	return c
 }
 
-// refillLocked moves up to stripeRefill chunks from the class's central
-// freelist into cache, carving a new page first when the central list is dry.
-// The caller must hold the stripe's lock; the result is never empty.
-func (a *arena) refillLocked(class int, cache [][]byte) [][]byte {
+// refillLocked restocks st.free[class]: central freelist first; when that is
+// dry, free pressure advances the epoch and harvests quarantined chunks (the
+// stripe's own first, then — opportunistically, via TryLock — other stripes')
+// before a new page is carved. The pressure path is what keeps synchronous
+// stores, which have no drain tick, recycling instead of growing. The caller
+// must hold st.mu; st.free[class] is non-empty on return.
+func (a *arena) refillLocked(st *arenaStripe, class int) {
 	cl := &a.classes[class]
+	cl.mu.Lock()
+	if len(cl.free) > 0 {
+		st.free[class] = a.pullLocked(cl, st.free[class])
+		cl.mu.Unlock()
+		return
+	}
+	cl.mu.Unlock()
+
+	if a.quarantinedChunks() > 0 {
+		a.epoch.Add(1)
+		a.reclaimStripeLocked(st)
+		if len(st.free[class]) > 0 {
+			return
+		}
+		// The needed chunks may be parked on other stripes' quarantines
+		// (e.g. after a flush drained shards this stripe never frees on).
+		// TryLock keeps the cross-stripe peek deadlock-free: two pressured
+		// allocs can never wait on each other's stripe mutex. Harvested
+		// chunks land on the owning stripe's cache and overflow to the
+		// central list, where the carve step below picks them up.
+		for i := range a.stripes {
+			other := &a.stripes[i]
+			if other == st || !other.mu.TryLock() {
+				continue
+			}
+			a.reclaimStripeLocked(other)
+			other.mu.Unlock()
+		}
+	}
+
 	cl.mu.Lock()
 	if len(cl.free) == 0 {
 		page := make([]byte, a.geom.PageSize)
@@ -144,6 +352,14 @@ func (a *arena) refillLocked(class int, cache [][]byte) [][]byte {
 		}
 		cl.pages++
 	}
+	st.free[class] = a.pullLocked(cl, st.free[class])
+	cl.mu.Unlock()
+}
+
+// pullLocked moves up to stripeRefill chunks from the class's central
+// freelist into cache. The caller must hold cl.mu, and cl.free must be
+// non-empty.
+func (a *arena) pullLocked(cl *arenaCentral, cache [][]byte) [][]byte {
 	n := stripeRefill
 	if n > len(cl.free) {
 		n = len(cl.free)
@@ -154,14 +370,16 @@ func (a *arena) refillLocked(class int, cache [][]byte) [][]byte {
 		cl.free[i] = nil
 	}
 	cl.free = cl.free[:split]
-	cl.mu.Unlock()
 	return cache
 }
 
-// freeChunk returns a chunk to the given class's freelists. The chunk must
-// have been allocated from the same class; the capacity check turns any
-// accounting mismatch (a chunk freed under the wrong charged size) into a
-// loud failure instead of silent pool corruption.
+// freeChunk retires a chunk of the given class into the stripe's quarantine,
+// stamped with the current epoch; a later reclaim pass recycles it once no
+// pinned reader can still observe it. The chunk must have been allocated from
+// the same class; the capacity check turns any accounting mismatch (a chunk
+// freed under the wrong charged size) into a loud failure instead of silent
+// pool corruption. The caller must hold the owning value shard's mutex — that
+// is the happens-before edge between a reader's pin and this retirement.
 func (a *arena) freeChunk(stripe, class int, chunk []byte) {
 	cl := &a.classes[class]
 	if int64(cap(chunk)) != cl.chunkSize {
@@ -171,11 +389,13 @@ func (a *arena) freeChunk(stripe, class int, chunk []byte) {
 	chunk = chunk[:cl.chunkSize]
 	st := &a.stripes[stripe]
 	st.mu.Lock()
-	cache := append(st.free[class], chunk)
-	if len(cache) > stripeCap {
-		cache = a.flushLocked(class, cache)
+	st.quar = append(st.quar, quarChunk{chunk: chunk, class: class, epoch: a.epoch.Load()})
+	cl.quarantined.Add(1)
+	a.deferredFrees.Add(1)
+	if len(st.quar) >= quarantineHighWater {
+		a.epoch.Add(1)
+		a.reclaimStripeLocked(st)
 	}
-	st.free[class] = cache
 	st.mu.Unlock()
 	cl.used.Add(-1)
 }
@@ -207,16 +427,37 @@ type ArenaClassStats struct {
 	// TotalChunks is Pages times chunks-per-page.
 	TotalChunks int64
 	// UsedChunks counts chunks backing resident values; FreeChunks counts
-	// chunks on the central freelist and the per-stripe caches. Under live
-	// traffic the split is approximate (a chunk in flight between a freelist
-	// and a record is momentarily in neither count); on a quiesced store
-	// Used + Free == Total exactly.
-	UsedChunks int64
-	FreeChunks int64
+	// chunks on the central freelist and the per-stripe caches;
+	// QuarantinedChunks counts retired chunks parked until every reader
+	// epoch advances past them. Under live traffic the split is approximate
+	// (a chunk in flight between lists is momentarily in none); on a
+	// quiesced store Used + Free + Quarantined == Total exactly.
+	UsedChunks        int64
+	FreeChunks        int64
+	QuarantinedChunks int64
 }
 
 // ArenaBytes returns the bytes the class's pages occupy.
 func (s ArenaClassStats) ArenaBytes() int64 { return s.Pages * s.PageSize }
+
+// ArenaReclaimStats reports a tenant's epoch-reclamation state: the current
+// epoch, the chunks currently parked in quarantine, and the monotone count of
+// frees ever deferred through it. Served as epoch_current,
+// epoch_quarantined_chunks and epoch_deferred_frees by the stats verb.
+type ArenaReclaimStats struct {
+	Epoch             uint64
+	QuarantinedChunks int64
+	DeferredFrees     int64
+}
+
+// reclaimStats snapshots the arena's epoch-reclamation counters.
+func (a *arena) reclaimStats() ArenaReclaimStats {
+	return ArenaReclaimStats{
+		Epoch:             a.epoch.Load(),
+		QuarantinedChunks: a.quarantinedChunks(),
+		DeferredFrees:     a.deferredFrees.Load(),
+	}
+}
 
 // SumArenaStats totals per-class occupancy into the three numbers every
 // consumer wants: bytes carved into pages, bytes backing resident chunks,
@@ -232,50 +473,90 @@ func SumArenaStats(classes []ArenaClassStats) (arenaBytes, usedBytes, totalBytes
 	return arenaBytes, usedBytes, totalBytes
 }
 
-// stats snapshots every class's occupancy, including classes that have not
-// carved a page yet (Pages == 0).
-func (a *arena) stats() []ArenaClassStats {
+// centralStats snapshots the per-class page counts, central freelists and
+// used/quarantined counters. Shared by the live stats walk and the sealed
+// audit snapshot.
+func (a *arena) centralStats() []ArenaClassStats {
 	out := make([]ArenaClassStats, len(a.classes))
 	for c := range a.classes {
 		cl := &a.classes[c]
 		cl.mu.Lock()
 		out[c] = ArenaClassStats{
-			Class:       c,
-			ChunkSize:   cl.chunkSize,
-			Pages:       cl.pages,
-			PageSize:    a.geom.PageSize,
-			TotalChunks: cl.pages * cl.perPage,
-			UsedChunks:  cl.used.Load(),
-			FreeChunks:  int64(len(cl.free)),
+			Class:             c,
+			ChunkSize:         cl.chunkSize,
+			Pages:             cl.pages,
+			PageSize:          a.geom.PageSize,
+			TotalChunks:       cl.pages * cl.perPage,
+			UsedChunks:        cl.used.Load(),
+			FreeChunks:        int64(len(cl.free)),
+			QuarantinedChunks: cl.quarantined.Load(),
 		}
 		cl.mu.Unlock()
 	}
+	return out
+}
+
+// addStripeStats folds one stripe's cached chunks into out. The caller must
+// hold st.mu.
+func addStripeStats(out []ArenaClassStats, st *arenaStripe) {
+	for c := range st.free {
+		out[c].FreeChunks += int64(len(st.free[c]))
+	}
+}
+
+// stats snapshots every class's occupancy, including classes that have not
+// carved a page yet (Pages == 0). Locks are taken one list at a time, so
+// under live traffic the split is approximate (a chunk in flight between
+// lists can be counted twice or not at all); exact accounting goes through
+// statsSealed.
+func (a *arena) stats() []ArenaClassStats {
+	out := a.centralStats()
 	for i := range a.stripes {
 		st := &a.stripes[i]
 		st.mu.Lock()
-		for c := range st.free {
-			out[c].FreeChunks += int64(len(st.free[c]))
-		}
+		addStripeStats(out, st)
 		st.mu.Unlock()
 	}
 	return out
 }
 
-// checkConservation verifies the arena's chunk-conservation invariant on a
-// quiesced store: for every class, every chunk of every carved page is either
-// backing a resident value or sitting on a freelist — used + free == pages *
-// chunks-per-page, with no chunk leaked and none double-freed. usedWant gives
-// the caller-counted resident chunks per class (from walking the item
-// directory); pass nil to skip that cross-check.
+// statsSealed snapshots occupancy with every stripe mutex held for the whole
+// walk: alloc, free and — crucially — the drain tick's concurrent reclaim all
+// need a stripe mutex to move a chunk between states, so the sealed snapshot
+// is internally consistent even while the background reclaimer runs. Used by
+// the conservation audit; the live stats verb keeps the cheaper approximate
+// walk.
+func (a *arena) statsSealed() []ArenaClassStats {
+	for i := range a.stripes {
+		a.stripes[i].mu.Lock()
+	}
+	out := a.centralStats()
+	for i := range a.stripes {
+		addStripeStats(out, &a.stripes[i])
+	}
+	for i := range a.stripes {
+		a.stripes[i].mu.Unlock()
+	}
+	return out
+}
+
+// checkConservation verifies the arena's three-state chunk-conservation
+// invariant on a quiesced store: for every class, every chunk of every carved
+// page is backing a resident value, sitting on a freelist, or parked in
+// quarantine — used + free + quarantined == pages * chunks-per-page, with no
+// chunk leaked and none double-freed. usedWant gives the caller-counted
+// resident chunks per class (from walking the item directory); pass nil to
+// skip that cross-check. The sealed snapshot keeps the check sound even while
+// the bookkeeper's drain tick reclaims concurrently.
 func (a *arena) checkConservation(usedWant []int64) error {
-	for _, st := range a.stats() {
-		if st.UsedChunks+st.FreeChunks != st.TotalChunks {
-			return fmt.Errorf("class %d (chunk %d): used %d + free %d != total %d (%d pages)",
-				st.Class, st.ChunkSize, st.UsedChunks, st.FreeChunks, st.TotalChunks, st.Pages)
+	for _, st := range a.statsSealed() {
+		if st.UsedChunks+st.FreeChunks+st.QuarantinedChunks != st.TotalChunks {
+			return fmt.Errorf("class %d (chunk %d): used %d + free %d + quarantined %d != total %d (%d pages)",
+				st.Class, st.ChunkSize, st.UsedChunks, st.FreeChunks, st.QuarantinedChunks, st.TotalChunks, st.Pages)
 		}
-		if st.UsedChunks < 0 || st.FreeChunks < 0 {
-			return fmt.Errorf("class %d: negative occupancy (used %d, free %d)",
-				st.Class, st.UsedChunks, st.FreeChunks)
+		if st.UsedChunks < 0 || st.FreeChunks < 0 || st.QuarantinedChunks < 0 {
+			return fmt.Errorf("class %d: negative occupancy (used %d, free %d, quarantined %d)",
+				st.Class, st.UsedChunks, st.FreeChunks, st.QuarantinedChunks)
 		}
 		if usedWant != nil && st.UsedChunks != usedWant[st.Class] {
 			return fmt.Errorf("class %d: arena counts %d used chunks, directory holds %d",

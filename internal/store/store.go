@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"cliffhanger/internal/cache"
 	"cliffhanger/internal/core"
@@ -76,9 +77,13 @@ type item struct {
 	// their bookkeeping events so a GET hit never converts []byte to string.
 	key string
 	// value is a view into an arena chunk (or a plain heap buffer for the
-	// oversize global-LRU fallback). It is only valid while the shard lock
-	// is held: once the record is freed the chunk is recycled, so readers
-	// must copy the bytes out under the lock (GetItemInto).
+	// oversize global-LRU fallback). It is valid while the shard lock is
+	// held, and — thanks to epoch-based reclamation — also after the lock
+	// drops for any reader that pinned the shard's epoch slot before
+	// unlocking (GetItemView): a retired chunk sits in quarantine until every
+	// pin has advanced past it. Mutations never write a live chunk in place;
+	// they install a fresh chunk and retire the old one (copy-on-write), so a
+	// pinned view is immutable for its lifetime.
 	value []byte
 	flags uint32
 	cas   uint64
@@ -131,8 +136,15 @@ type valueShard struct {
 	idx int
 	// freeItems pools dead item records for reuse (guarded by mu), bounded
 	// by the shard's peak residency. A record is pooled only after its chunk
-	// has been freed and only under mu, so no reader can still hold it.
+	// has been retired and only under mu; readers capture the value slice
+	// and scalar fields before unlocking, never the record pointer, so no
+	// reader can still hold it.
 	freeItems *item
+	// freeKeys pools lookup-event key buffers (guarded by mu): a byte-keyed
+	// GET miss copies the probed key into a pooled buffer instead of
+	// materializing a string, and the bookkeeper returns the buffer once the
+	// event has been replayed — the last per-miss allocation gone.
+	freeKeys *keyBuf
 
 	// pending buffers this shard's bookkeeping events (guarded by mu);
 	// applyMu makes stealing and replaying the buffer one atomic step so
@@ -162,6 +174,42 @@ func (sh *valueShard) getItemLocked() *item {
 func (sh *valueShard) putItemLocked(it *item) {
 	*it = item{next: sh.freeItems}
 	sh.freeItems = it
+}
+
+// keyBuf is a pooled lookup-event key buffer: a GET miss copies the probed
+// key into one and hands the bookkeeper an unsafe string view of it, and the
+// bookkeeper returns the buffer to its home shard's pool once the event has
+// been replayed (or shed). The view is only ever read between buffering and
+// replay — replay happens before the buffer can be pooled and reused, so the
+// string can never be observed after its bytes change. home is the shard
+// whose pool the buffer cycles through, recorded so the replayer does not
+// have to re-hash the key.
+type keyBuf struct {
+	b    []byte
+	home *valueShard
+	next *keyBuf
+}
+
+// getKeyLocked pops a pooled key buffer (or allocates the shard's first),
+// fills it with key, and returns it with a string view of its contents. The
+// caller must hold sh.mu.
+func (sh *valueShard) getKeyLocked(key []byte) (*keyBuf, string) {
+	kb := sh.freeKeys
+	if kb != nil {
+		sh.freeKeys = kb.next
+		kb.next = nil
+	} else {
+		kb = &keyBuf{home: sh}
+	}
+	kb.b = append(kb.b[:0], key...)
+	return kb, unsafe.String(unsafe.SliceData(kb.b), len(kb.b))
+}
+
+// putKeyLocked returns a key buffer to its home shard's pool. The caller must
+// hold sh.mu, and no live event may still reference the buffer's string view.
+func (sh *valueShard) putKeyLocked(kb *keyBuf) {
+	kb.next = sh.freeKeys
+	sh.freeKeys = kb
 }
 
 // tenantEntry couples a tenant's sharded value table with the bookkeeper
@@ -199,11 +247,11 @@ func (e *tenantEntry) newValueLocked(sh *valueShard, size int64, vlen int) []byt
 	return make([]byte, vlen)
 }
 
-// freeValueLocked returns an item's value chunk to the arena freelist (heap
-// fallbacks are simply dropped to the GC). The caller must hold sh.mu and
-// must not touch value afterwards — the chunk may be handed to a concurrent
-// mutation on another key of the same shard group the moment the locks
-// release.
+// freeValueLocked retires an item's value chunk into the arena's quarantine
+// (heap fallbacks are simply dropped to the GC). The caller must hold sh.mu —
+// the happens-before edge that makes pinned readers visible to the reclaimer
+// — and must not write value afterwards: a pinned reader may still be
+// streaming it, and it is only recycled once every such pin has advanced.
 func (e *tenantEntry) freeValueLocked(sh *valueShard, size int64, value []byte) {
 	if value == nil {
 		return
@@ -213,28 +261,27 @@ func (e *tenantEntry) freeValueLocked(sh *valueShard, size int64, value []byte) 
 	}
 }
 
-// reallocValueLocked resizes it's value buffer for a mutation that changes
-// the charged size from it.size to newSize: the chunk is reused in place when
-// the new size maps to the same slab class (a chunk always has room for any
-// value of its class), and swapped through the freelists on a cross-class
-// re-set. The caller must hold sh.mu and must not have updated it.size yet.
+// reallocValueLocked replaces it's value buffer for a mutation that re-writes
+// the value: a fresh chunk is installed and the old one retired to quarantine
+// — never reused in place, even within a slab class. Copy-on-write is what
+// keeps zero-copy readers sound: a reader holding a pinned view of the old
+// chunk must see those bytes unchanged until it unpins, so every mutation
+// writes somewhere new. The alloc-before-free order means the fresh chunk can
+// never be the one just retired, and the retired chunk's contents stay intact
+// in quarantine (so the new value may be copied FROM the old chunk). The
+// caller must hold sh.mu and must not have updated it.size yet.
 func (e *tenantEntry) reallocValueLocked(sh *valueShard, it *item, newSize int64, vlen int) {
-	oldClass, okOld := e.arena.classFor(it.size)
-	newClass, okNew := e.arena.classFor(newSize)
-	if (okOld && okNew && oldClass == newClass) || (!okOld && !okNew && cap(it.value) >= vlen) {
-		it.value = it.value[:vlen]
-		return
-	}
-	e.freeValueLocked(sh, it.size, it.value)
+	old, oldSize := it.value, it.size
 	it.value = e.newValueLocked(sh, newSize, vlen)
+	e.freeValueLocked(sh, oldSize, old)
 }
 
 // dropVictim removes key's record on behalf of a structural eviction, unless
 // the record was written by a mutation whose admission event has not been
 // replayed yet — that pending re-admission will re-establish the entry, so
-// the newer value must survive. A dropped record's chunk and record go back
-// to the freelists; no reader can hold a view into the chunk because every
-// read copies out under this same shard lock.
+// the newer value must survive. A dropped record is pooled immediately; its
+// chunk is retired to quarantine, where any reader that pinned a view under
+// this same shard lock keeps it alive until it unpins.
 func (e *tenantEntry) dropVictim(key string) {
 	sh := e.shardFor(key)
 	sh.mu.Lock()
@@ -266,14 +313,15 @@ func (e *tenantEntry) markAdmitted(key string, seq uint64) {
 // resident until an expiry or re-admit event removes it, so its size must be
 // accounted the same way a live one's is.
 //
-// Allocation discipline: a re-set mutates prev in place — the record is kept
-// and its chunk is reused when the new charged size stays in the same slab
-// class (or swapped through the freelists when it does not) — so a
-// steady-state SET allocates nothing. A fresh key pops a pooled record and a
-// recycled chunk; only the interned key string is born on the heap. value is
-// copied into the chunk here, under the lock, and must not alias prev's
-// current chunk (the concat path, which does alias, assembles in the chunk
-// itself instead of going through setLocked).
+// Allocation discipline: a re-set keeps prev's record and interned key but
+// always installs a fresh chunk, retiring the old one to quarantine
+// (copy-on-write — a pinned zero-copy reader may still be streaming the old
+// bytes). The fresh chunk comes off the freelists and the retired one cycles
+// back through epoch reclamation, so a steady-state SET still allocates
+// nothing. A fresh key pops a pooled record and a recycled chunk; only the
+// interned key string is born on the heap. value is copied into the new chunk
+// here, under the lock; it may safely alias prev's chunk, whose contents stay
+// intact in quarantine.
 func (e *tenantEntry) setLocked(sh *valueShard, key string, prev *item, value []byte, flags uint32, expires, now int64) event {
 	sh.casCounter++
 	size := int64(len(key)) + int64(len(value))
@@ -555,12 +603,13 @@ func (s *Store) GetWithCAS(tenant, key string) ([]byte, uint64, bool, error) {
 }
 
 // GetItem returns the full item record — value, flags, CAS token — stored
-// under key, lazily expiring it if its TTL lapsed. The value is copied out
-// under the shard lock (the resident bytes live in a recycled arena chunk
-// that an eviction may reuse the moment the lock drops), so the returned
-// Item is caller-owned. The common case (no dead record to shed) stays on a
-// scalar fast path: one stack-allocated lookup event and, for never-expiring
-// records, no clock read under the shard lock.
+// under key, lazily expiring it if its TTL lapsed. The returned Item is a
+// caller-owned copy, made OUTSIDE the shard lock from a pinned view: the
+// critical section is just the directory probe plus the pin, and the epoch
+// quarantine keeps the chunk's bytes intact until the copy unpins. The common
+// case (no dead record to shed) stays on a scalar fast path: one
+// stack-allocated lookup event and, for never-expiring records, no clock read
+// under the shard lock.
 func (s *Store) GetItem(tenant, key string) (Item, bool, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
@@ -586,11 +635,20 @@ func (s *Store) GetItem(tenant, key string) (Item, bool, error) {
 	// read, so per-key event order matches value order.
 	ev := event{kind: evLookup, key: key, size: lookupSize(key, it)}
 	act := e.bk.bufferLocked(sh, &ev)
-	var out Item
+	var (
+		out  Item
+		view []byte
+	)
 	if it != nil {
-		out = Item{Value: append([]byte(nil), it.value...), Flags: it.flags, CAS: it.cas}
+		e.arena.pin(sh.idx)
+		view = it.value
+		out = Item{Flags: it.flags, CAS: it.cas}
 	}
 	sh.mu.Unlock()
+	if it != nil {
+		out.Value = append([]byte(nil), view...)
+		e.arena.unpin(sh.idx)
+	}
 	e.bk.finish(sh, ev, act)
 	return out, it != nil, nil
 }
@@ -605,25 +663,48 @@ func lookupSize(key string, it *item) int64 {
 	return it.size
 }
 
-// GetItemInto is the zero-allocation read path: a byte-keyed lookup that
-// copies the value into dst (grown as needed) under the shard lock. The
-// resident bytes live in a recycled arena chunk, so the copy-out is what
-// makes streaming them safe — by the time the lock drops and the server
-// writes the buffer to the wire, an eviction replay is free to hand the
-// chunk to the next admission. It returns the item (whose Value field is
-// dst's filled prefix on a hit and nil on a miss) and the possibly-grown
-// buffer, which the caller should pass back on the next call so growth
-// amortizes to zero.
+// ItemView is a borrowed read of a resident item: Value points straight into
+// the record's arena chunk (or heap buffer), kept immutable and un-recycled
+// by an epoch pin until Release is called. The holder may read Value — e.g.
+// stream it to a connection writer — but must not retain it past Release, and
+// must Release exactly once (a zero-value ItemView's Release is a no-op, so
+// misses need no special casing). Copy-on-write mutations and the epoch
+// quarantine together guarantee the bytes cannot change or be reused while
+// the pin is held.
+type ItemView struct {
+	Value  []byte
+	Flags  uint32
+	CAS    uint64
+	arena  *arena
+	stripe int
+}
+
+// Release unpins the view's epoch slot, allowing the chunk to be recycled
+// once every older pin has also released. Idempotent on the zero value only;
+// a pinned view must be released exactly once.
+func (v *ItemView) Release() {
+	if v.arena != nil {
+		v.arena.unpin(v.stripe)
+		v.arena = nil
+		v.Value = nil
+	}
+}
+
+// GetItemView is the zero-copy read path: a byte-keyed lookup whose critical
+// section is just the directory probe, the event append and an epoch pin — no
+// value bytes move under the shard lock. On a hit the returned view borrows
+// the record's chunk directly; the caller streams or copies it and then MUST
+// call Release. On a miss (ok false) the view is zero and needs no Release.
 //
-// The map lookup rides Go's allocation-free m[string(b)] optimization, and
-// on a hit the bookkeeping event reuses the record's interned key string, so
-// a steady-state hit performs zero heap allocations in this layer. A miss
-// materializes one key string for the lookup event (the key might still be
-// resident in a shadow queue, so the real key must reach the tenant).
-func (s *Store) GetItemInto(tenant string, key, dst []byte) (Item, []byte, bool, error) {
+// The map lookup rides Go's allocation-free m[string(b)] optimization; a hit
+// reuses the record's interned key string for the bookkeeping event, and a
+// miss copies the probed key into a pooled buffer the bookkeeper returns
+// after replay — so both outcomes perform zero heap allocations in this
+// layer (the alloc gates pin hit = 0 and miss = 0).
+func (s *Store) GetItemView(tenant string, key []byte) (ItemView, bool, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
-		return Item{}, dst, false, ErrNoTenant{tenant}
+		return ItemView{}, false, ErrNoTenant{tenant}
 	}
 	sh := e.shardForBytes(key)
 	sh.mu.Lock()
@@ -640,21 +721,43 @@ func (s *Store) GetItemInto(tenant string, key, dst []byte) (Item, []byte, bool,
 		sh.mu.Unlock()
 		e.bk.finish(sh, exp, expAct)
 		e.bk.finish(sh, ev, act)
-		return Item{}, dst, false, nil
+		return ItemView{}, false, nil
 	}
 	var ev event
-	var out Item
+	var out ItemView
 	if it != nil {
 		ev = event{kind: evLookup, key: it.key, size: it.size}
-		dst = append(dst[:0], it.value...)
-		out = Item{Value: dst, Flags: it.flags, CAS: it.cas}
+		// Pin before unlocking: the pin-store happens-before any retirement
+		// of this chunk (retires run under this same shard mutex), which is
+		// what makes the borrowed Value safe to read after the unlock.
+		e.arena.pin(sh.idx)
+		out = ItemView{Value: it.value, Flags: it.flags, CAS: it.cas, arena: e.arena, stripe: sh.idx}
 	} else {
-		ev = event{kind: evLookup, key: string(key), size: int64(len(key))}
+		kb, ks := sh.getKeyLocked(key)
+		ev = event{kind: evLookup, key: ks, size: int64(len(key)), keyBuf: kb}
 	}
 	act := e.bk.bufferLocked(sh, &ev)
 	sh.mu.Unlock()
 	e.bk.finish(sh, ev, act)
-	return out, dst, it != nil, nil
+	return out, it != nil, nil
+}
+
+// GetItemInto is the copying read for callers that want an owned buffer: a
+// GetItemView whose value is copied into dst (grown as needed) OUTSIDE the
+// shard lock — the lock is held only for the directory probe, and the epoch
+// pin keeps the source bytes stable during the copy. It returns the item
+// (whose Value field is dst's filled prefix on a hit and nil on a miss) and
+// the possibly-grown buffer, which the caller should pass back on the next
+// call so growth amortizes to zero.
+func (s *Store) GetItemInto(tenant string, key, dst []byte) (Item, []byte, bool, error) {
+	v, ok, err := s.GetItemView(tenant, key)
+	if err != nil || !ok {
+		return Item{}, dst, ok, err
+	}
+	dst = append(dst[:0], v.Value...)
+	out := Item{Value: dst, Flags: v.Flags, CAS: v.CAS}
+	v.Release()
+	return out, dst, true, nil
 }
 
 // GetItemBytes is GetItemInto without a reusable destination: the value
@@ -772,11 +875,9 @@ func (s *Store) storeMutation(e *tenantEntry, sh *valueShard, tenant string, ev 
 // expiry, or store=false to leave the record untouched. mutate reports
 // whether a new record was stored.
 //
-// decide runs under the shard lock, so it may read live.value — but the
-// value it returns must NOT alias live.value: setLocked copies it into the
-// record's (possibly reused) chunk, and an aliasing copy would tear.
-// Append/prepend, which inherently alias, assemble in the chunk directly
-// (see concat).
+// decide runs under the shard lock, so it may read live.value; the value it
+// returns may even alias live.value — setLocked copies it into a FRESH chunk
+// (copy-on-write), and the old chunk's contents stay intact in quarantine.
 func (s *Store) mutate(tenant, key string, decide func(live *item) (value []byte, flags uint32, expires int64, store bool, err error)) (bool, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
@@ -852,13 +953,12 @@ func (s *Store) PrependBytes(tenant string, key, prefix []byte) (bool, error) {
 	return s.concatBytes(tenant, key, prefix, true)
 }
 
-// concat implements append/prepend by assembling the concatenation directly
-// in the destination chunk — no intermediate buffer. When the grown charged
-// size stays in the record's slab class the chunk already has room (a chunk
-// fits any value of its class) and the bytes are added in place; a prepend's
-// shift of the existing value is an overlapping copy, which Go's copy
-// handles (memmove semantics). Only a class-crossing growth swaps chunks
-// through the freelists, so a steady-state append loop allocates nothing.
+// concat implements append/prepend by assembling the concatenation in a
+// fresh chunk and retiring the old one — copy-on-write, like every other
+// mutation, so a pinned zero-copy reader of the old value can never observe
+// the bytes shifting under it. The fresh chunk comes off the freelists and
+// the retired one cycles back through epoch reclamation, so a steady-state
+// append loop still allocates nothing.
 func (s *Store) concat(tenant, key string, extra []byte, front bool) (bool, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
@@ -916,32 +1016,21 @@ func (s *Store) concatLocked(e *tenantEntry, sh *valueShard, tenant string, it *
 		return false, errTooLarge(key, newSize)
 	}
 	oldSize := it.size
-	oldClass, okOld := e.arena.classFor(oldSize)
-	newClass, okNew := e.arena.classFor(newSize)
 	newLen := oldLen + len(extra)
-	if (okOld && okNew && oldClass == newClass) || (!okOld && !okNew && cap(it.value) >= newLen) {
-		// Same class: extend in place inside the current chunk.
-		it.value = it.value[:newLen]
-		if front {
-			copy(it.value[len(extra):], it.value[:oldLen])
-			copy(it.value, extra)
-		} else {
-			copy(it.value[oldLen:], extra)
-		}
+	// Copy-on-write: assemble in a fresh chunk even when the grown size stays
+	// in the same slab class. The old chunk's contents remain intact in
+	// quarantine, so copying from it after the alloc is safe, and any pinned
+	// reader keeps seeing the pre-concat value.
+	nv := e.newValueLocked(sh, newSize, newLen)
+	if front {
+		copy(nv, extra)
+		copy(nv[len(extra):], it.value[:oldLen])
 	} else {
-		// Class-crossing growth: assemble in the new class's chunk, then
-		// recycle the old one.
-		nv := e.newValueLocked(sh, newSize, newLen)
-		if front {
-			copy(nv, extra)
-			copy(nv[len(extra):], it.value[:oldLen])
-		} else {
-			copy(nv, it.value[:oldLen])
-			copy(nv[oldLen:], extra)
-		}
-		e.freeValueLocked(sh, oldSize, it.value)
-		it.value = nv
+		copy(nv, it.value[:oldLen])
+		copy(nv[oldLen:], extra)
 	}
+	e.freeValueLocked(sh, oldSize, it.value)
+	it.value = nv
 	sh.casCounter++
 	it.cas = sh.casCounter
 	it.size = newSize
@@ -1183,15 +1272,28 @@ func (s *Store) Stats(tenant string) (TenantStats, error) {
 }
 
 // SlabStats returns the tenant's per-class arena occupancy: chunk size,
-// carved pages, and used/free chunk counts (the data behind the protocol's
-// "stats slabs"). Under live traffic the used/free split is approximate; on
-// a quiesced store used + free == pages * chunks-per-page exactly.
+// carved pages, and used/free/quarantined chunk counts (the data behind the
+// protocol's "stats slabs"). Under live traffic the split is approximate; on
+// a quiesced store used + free + quarantined == pages * chunks-per-page
+// exactly.
 func (s *Store) SlabStats(tenant string) ([]ArenaClassStats, error) {
 	e, ok := s.entry(tenant)
 	if !ok {
 		return nil, ErrNoTenant{tenant}
 	}
 	return e.arena.stats(), nil
+}
+
+// ReclaimStats returns the tenant's epoch-reclamation counters: the current
+// global epoch, the chunks parked in quarantine right now, and the monotone
+// count of frees ever deferred through it (served as epoch_current,
+// epoch_quarantined_chunks and epoch_deferred_frees by the stats verb).
+func (s *Store) ReclaimStats(tenant string) (ArenaReclaimStats, error) {
+	e, ok := s.entry(tenant)
+	if !ok {
+		return ArenaReclaimStats{}, ErrNoTenant{tenant}
+	}
+	return e.arena.reclaimStats(), nil
 }
 
 // QueueSnapshots returns the per-queue Cliffhanger state of the tenant

@@ -22,8 +22,10 @@
 //     slab arena (arena.go): 1 MiB pages carved into per-class chunk
 //     freelists, recycled on eviction/expiry/delete/flush instead of handed
 //     to the GC, with item records pooled per shard — the mutation path
-//     allocates nothing in the steady state, and reads copy values out
-//     under the shard lock so a recycled chunk can never be observed.
+//     allocates nothing in the steady state. Reads are zero-copy: a GET
+//     pins the arena epoch and hands out a borrowed view of the chunk;
+//     freed chunks sit in an epoch-stamped quarantine until every pinned
+//     reader has moved past, so a recycled chunk can never be observed.
 //
 //   - bookkeeper (bookkeeper.go) is the accounting plane. All structural
 //     consequences of a request — shadow-queue updates, hill-climbing credit
@@ -44,6 +46,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"cliffhanger/internal/cache"
 	"cliffhanger/internal/core"
@@ -276,6 +279,15 @@ func (t *Tenant) cost(class int, size int64) int64 {
 	return t.geom.ChunkSize(class)
 }
 
+// resident reports whether key is currently tracked by the class's policy
+// structure, without promoting it or touching any counters.
+func (t *Tenant) resident(class int, key string) bool {
+	if t.manager != nil {
+		return t.manager.Contains(t.classID(class), key)
+	}
+	return t.queueFor(class).Contains(key)
+}
+
 // Lookup performs the GET path: it reports whether key is resident and
 // promotes it if so. It never admits the key (admission happens on the SET
 // that follows a miss, as in Memcached).
@@ -287,17 +299,14 @@ func (t *Tenant) Lookup(key string, size int64) bool {
 	t.requests++
 	t.classReq[class]++
 	hit := false
-	if t.manager != nil {
-		if t.manager.Contains(t.classID(class), key) {
+	// Policies couple lookup and fill; only touch the structure when the key
+	// is already resident so a GET miss does not admit it.
+	if t.resident(class, key) {
+		if t.manager != nil {
 			out, _ := t.manager.Access(t.classID(class), key, t.cost(class, size))
 			hit = out.Hit
-		}
-	} else {
-		q := t.queueFor(class)
-		// Policies couple lookup and fill; only touch the queue when the
-		// key is already resident so a GET miss does not admit it.
-		if q.Contains(key) {
-			hit, _ = q.Access(key, t.cost(class, size))
+		} else {
+			hit, _ = t.queueFor(class).Access(key, t.cost(class, size))
 		}
 	}
 	if hit {
@@ -308,6 +317,29 @@ func (t *Tenant) Lookup(key string, size int64) bool {
 		t.classMiss[class]++
 	}
 	return hit
+}
+
+// LookupTransient is Lookup for a key string that must not be retained: the
+// caller owns the backing bytes (a pooled miss-key buffer) and will reuse them
+// after this call returns. Policy structures retain key strings on insert, so
+// the fast path only runs when the key is NOT resident — then the bookkeeping
+// is pure counters and nothing can capture the string. If the key turns out to
+// be resident (possible only if the directory and the policy structure
+// disagree transiently), we clone before taking the normal promote path.
+// Counter effects are identical to Lookup in both branches.
+func (t *Tenant) LookupTransient(key string, size int64) bool {
+	class, ok := t.ClassFor(size)
+	if !ok {
+		return false
+	}
+	if t.resident(class, key) {
+		return t.Lookup(strings.Clone(key), size)
+	}
+	t.requests++
+	t.classReq[class]++
+	t.misses++
+	t.classMiss[class]++
+	return false
 }
 
 // Admit performs the SET path: the key becomes resident (if it fits) and any
