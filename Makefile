@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race4 vet fmt bench bins conformance alloccheck fuzz replay verify clean
+.PHONY: build test race race4 vet fmt bench bins conformance alloccheck fuzz replay churn verify clean
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,19 @@ replay: bins
 	trap 'kill $$pid 2>/dev/null' EXIT; \
 	sleep 1; \
 	./bin/cliffbench -addr $$addr -trace memcachier -duration 2s -pipeline 8
+
+# churn is the tenant-lifecycle smoke: boot cliffhangerd, then run the
+# cliffbench churn scenario — tenant_create mid-run, a live 50% shrink of the
+# loaded tenant, restore, tenant_delete — reporting per-phase hit rates. Any
+# failed request or dropped connection against the primary tenant fails the
+# run.
+churn: bins
+	@set -e; \
+	addr=127.0.0.1:13221; \
+	./bin/cliffhangerd -addr $$addr -tenants default:64 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	sleep 1; \
+	./bin/cliffbench -addr $$addr -churn -duration 8s -conns 4 -keys 60000 -value 900 -tenant-mb 64 -churn-mb 32
 
 # verify cross-checks wire-replay hit rates against internal/sim for the
 # same seeded Memcachier trace (also covered by the Go test

@@ -71,6 +71,9 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.02, "largest acceptable per-app |wire-sim| hit-rate delta for -verify")
 		modeFlag  = flag.String("mode", "cliffhanger", "allocation mode for -verify: default, cliffhanger, static, global-lru")
 		printTen  = flag.Bool("print-tenants", false, "print the cliffhangerd -tenants value for the chosen trace and exit")
+		churn     = flag.Bool("churn", false, "run the tenant-churn lifecycle scenario (create/shrink/recover) and exit")
+		tenantMB  = flag.Int64("tenant-mb", 64, "primary tenant reservation in MB; -churn uses it to compute resize targets")
+		churnMB   = flag.Int64("churn-mb", 32, "reservation in MB for the tenant -churn creates and deletes")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cliffbench: ", 0)
@@ -105,6 +108,23 @@ func main() {
 			opts.Requests = 200000
 		}
 		runVerify(logger, *traceSpec, opts, *modeFlag, *tolerance)
+		return
+	}
+
+	if *churn {
+		runChurn(logger, churnConfig{
+			addr:     *addr,
+			conns:    *conns,
+			duration: *duration,
+			keys:     *keys,
+			zipfS:    *zipfS,
+			value:    *valueSize,
+			timeout:  *timeout,
+			seed:     *seed,
+			tenant:   *tenant,
+			tenantMB: *tenantMB,
+			churnMB:  *churnMB,
+		})
 		return
 	}
 

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +47,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "value shards per tenant (0 = default)")
 		syncBk    = flag.Bool("sync-bookkeeping", false, "apply Cliffhanger bookkeeping inline on the request path (slower, deterministic)")
 		statsIntv = flag.Duration("stats-interval", 0, "interval for logging throughput and hit rates (0 disables)")
+		statsJSON = flag.String("stats-json", "", "append one JSON stats line per -stats-interval tick to this file (empty disables)")
 		pprofAddr = flag.String("pprof-addr", "", "HTTP listen address for net/http/pprof profiling endpoints (empty disables)")
 	)
 	flag.Parse()
@@ -91,7 +93,15 @@ func main() {
 	}
 
 	if *statsIntv > 0 {
-		go logStats(logger, srv, st, *statsIntv)
+		var jsonOut *os.File
+		if *statsJSON != "" {
+			jsonOut, err = os.OpenFile(*statsJSON, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			defer jsonOut.Close()
+		}
+		go logStats(logger, srv, st, *statsIntv, jsonOut)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -143,32 +153,94 @@ func parseMode(s string) (store.AllocationMode, error) {
 	return 0, fmt.Errorf("unknown allocation mode %q", s)
 }
 
-func logStats(logger *log.Logger, srv *server.Server, st *store.Store, interval time.Duration) {
+// statsTick is the JSON shape written per -stats-interval tick: one line per
+// tick so the file tails and greps like a log but parses like a dataset.
+type statsTick struct {
+	TS        string           `json:"ts"`
+	OpsPerSec float64          `json:"ops_per_sec"`
+	GetP99Us  int64            `json:"get_p99_us"`
+	SetP99Us  int64            `json:"set_p99_us"`
+	Pool      poolStats        `json:"page_pool"`
+	Tenants   []tenantTickStat `json:"tenants"`
+}
+
+type poolStats struct {
+	TotalPages int64 `json:"total_pages"`
+	FreePages  int64 `json:"free_pages"`
+}
+
+type tenantTickStat struct {
+	Name              string  `json:"name"`
+	HitRate           float64 `json:"hit_rate"`
+	Requests          int64   `json:"requests"`
+	ArenaBytes        int64   `json:"arena_bytes"`
+	Occupancy         float64 `json:"occupancy"`
+	Epoch             uint64  `json:"epoch"`
+	QuarantinedChunks int64   `json:"quarantined_chunks"`
+	DeferredFrees     int64   `json:"deferred_frees"`
+	LeasePages        int64   `json:"lease_pages"`
+}
+
+func logStats(logger *log.Logger, srv *server.Server, st *store.Store, interval time.Duration, jsonOut *os.File) {
+	var enc *json.Encoder
+	if jsonOut != nil {
+		enc = json.NewEncoder(jsonOut)
+	}
 	for range time.Tick(interval) {
 		var parts []string
 		var arenaBytes, arenaUsed, arenaTotal int64
+		ps := st.PageStats()
+		tick := statsTick{
+			TS:        time.Now().UTC().Format(time.RFC3339Nano),
+			OpsPerSec: srv.Ops.Rate(),
+			GetP99Us:  srv.GetLatency.Quantile(0.99).Microseconds(),
+			SetP99Us:  srv.SetLatency.Quantile(0.99).Microseconds(),
+			Pool:      poolStats{TotalPages: ps.TotalPages, FreePages: ps.FreePages},
+		}
 		for _, name := range st.Tenants() {
 			s, err := st.Stats(name)
 			if err != nil {
 				continue
 			}
 			dropped, _ := st.DroppedEvents(name)
-			parts = append(parts, fmt.Sprintf("%s hit=%.4f req=%d shed=%d",
-				name, s.HitRate(), s.Requests, dropped))
+			parts = append(parts, fmt.Sprintf("%s hit=%.4f req=%d shed=%d pages=%d",
+				name, s.HitRate(), s.Requests, dropped, ps.Leases[name]))
+			var ab, ub, tb int64
 			if classes, err := st.SlabStats(name); err == nil {
-				ab, ub, tb := store.SumArenaStats(classes)
+				ab, ub, tb = store.SumArenaStats(classes)
 				arenaBytes += ab
 				arenaUsed += ub
 				arenaTotal += tb
 			}
+			occ := 0.0
+			if tb > 0 {
+				occ = float64(ub) / float64(tb)
+			}
+			rs, _ := st.ReclaimStats(name)
+			tick.Tenants = append(tick.Tenants, tenantTickStat{
+				Name:              name,
+				HitRate:           s.HitRate(),
+				Requests:          s.Requests,
+				ArenaBytes:        ab,
+				Occupancy:         occ,
+				Epoch:             rs.Epoch,
+				QuarantinedChunks: rs.QuarantinedChunks,
+				DeferredFrees:     rs.DeferredFrees,
+				LeasePages:        ps.Leases[name],
+			})
 		}
 		occupancy := 0.0
 		if arenaTotal > 0 {
 			occupancy = float64(arenaUsed) / float64(arenaTotal)
 		}
-		logger.Printf("ops/s=%.0f get p99=%v set p99=%v arena=%dMiB occ=%.2f | %s",
+		logger.Printf("ops/s=%.0f get p99=%v set p99=%v arena=%dMiB occ=%.2f pool=%d/%d | %s",
 			srv.Ops.Rate(), srv.GetLatency.Quantile(0.99), srv.SetLatency.Quantile(0.99),
-			arenaBytes>>20, occupancy,
+			arenaBytes>>20, occupancy, ps.TotalPages-ps.FreePages, ps.TotalPages,
 			strings.Join(parts, " | "))
+		if enc != nil {
+			if err := enc.Encode(&tick); err != nil {
+				logger.Printf("stats-json: %v", err)
+			}
+		}
 	}
 }

@@ -487,6 +487,40 @@ func (c *Client) FlushAll() error {
 	return nil
 }
 
+// TenantCreate registers a new tenant with an mb-megabyte reservation. The
+// server replies OK on success; a duplicate name is a server error.
+func (c *Client) TenantCreate(name string, mb uint64) error {
+	return c.adminVerb(fmt.Sprintf("tenant_create %s %d", name, mb))
+}
+
+// TenantResize retargets a live tenant's reservation at mb megabytes. The
+// resize executes incrementally on the server; the OK reply only acknowledges
+// the new target.
+func (c *Client) TenantResize(name string, mb uint64) error {
+	return c.adminVerb(fmt.Sprintf("tenant_resize %s %d", name, mb))
+}
+
+// TenantDelete unregisters a tenant. New requests fail immediately; the
+// server drains and returns the tenant's memory asynchronously.
+func (c *Client) TenantDelete(name string) error {
+	return c.adminVerb("tenant_delete " + name)
+}
+
+// adminVerb sends one admin command line and expects an OK reply.
+func (c *Client) adminVerb(line string) error {
+	if err := c.writeLine(line); err != nil {
+		return err
+	}
+	resp, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("client: %s failed: %s", line, resp)
+	}
+	return nil
+}
+
 // Stats returns the server's STAT lines for the selected tenant.
 func (c *Client) Stats() (map[string]string, error) {
 	return c.statsCmd("stats")

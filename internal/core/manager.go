@@ -277,6 +277,45 @@ func (m *Manager) CapacitySum() int64 {
 	return sum
 }
 
+// Resize retargets the manager at totalBytes and, on a shrink, claws the
+// excess capacity back from the largest queues (never below the MinQueueBytes
+// floor), applying each cut immediately and returning the evicted victims.
+// On growth the extra budget is left unassigned; it reaches the queues
+// through the store's page-gated grow path, exactly like boot-time warmup.
+// Hill climbing keeps conserving whatever CapacitySum the cuts leave behind.
+func (m *Manager) Resize(totalBytes int64) []cache.Victim {
+	if totalBytes <= 0 {
+		return nil
+	}
+	m.totalBytes = totalBytes
+	var all []cache.Victim
+	for {
+		excess := m.CapacitySum() - totalBytes
+		if excess <= 0 {
+			break
+		}
+		victim := -1
+		var most int64
+		for j, q := range m.queues {
+			if room := q.Capacity() - m.cfg.MinQueueBytes; room > 0 && (victim == -1 || room > most) {
+				victim = j
+				most = room
+			}
+		}
+		if victim == -1 {
+			break // every queue is at the floor; CapacitySum may exceed tiny budgets
+		}
+		cut := excess
+		if cut > most {
+			cut = most
+		}
+		q := m.queues[victim]
+		q.SetCapacity(q.Capacity() - cut)
+		all = append(all, q.ForceApplyResize()...)
+	}
+	return all
+}
+
 // Drain evicts everything from every queue and returns the victims. It is
 // used by flush operations in the store.
 func (m *Manager) Drain() []cache.Victim {

@@ -27,6 +27,14 @@ var fuzzCorpus = []string{
 	"decr n 100\r\n",
 	"delete k\r\n",
 	"tenant app2\r\n",
+	"tenant_create app9 16\r\n",
+	"tenant_resize app9 8\r\n",
+	"tenant_delete app9\r\n",
+	"tenant_create app9 0\r\n",
+	"tenant_create app9\r\n",
+	"tenant_resize app9 16 extra\r\n",
+	"tenant_delete\r\n",
+	"tenant_create app9 99999999999999999999\r\n",
 	"stats\r\n",
 	"flush_all\r\n",
 	"version\r\n",

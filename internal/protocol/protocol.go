@@ -106,6 +106,12 @@ const (
 	VerbVersion  = "version"
 	VerbQuit     = "quit"
 	VerbTenant   = "tenant"
+
+	// Admin verbs for runtime tenant lifecycle. create/resize take
+	// "<name> <MB>"; delete takes "<name>". All reply OK or an error line.
+	VerbTenantCreate = "tenant_create"
+	VerbTenantResize = "tenant_resize"
+	VerbTenantDelete = "tenant_delete"
 )
 
 // verbs lists every verb for case-insensitive matching. Matching returns the
@@ -114,6 +120,7 @@ var verbs = []string{
 	VerbGet, VerbGets, VerbSet, VerbAdd, VerbReplace, VerbAppend,
 	VerbPrepend, VerbCas, VerbTouch, VerbIncr, VerbDecr, VerbDelete,
 	VerbStats, VerbFlushAll, VerbVersion, VerbQuit, VerbTenant,
+	VerbTenantCreate, VerbTenantResize, VerbTenantDelete,
 }
 
 // Parser reads commands from a bufio.Reader with per-connection reusable
@@ -247,6 +254,28 @@ func (p *Parser) ReadCommand() (*Command, error) {
 		extra, _ := nextToken(rest2)
 		if len(name) == 0 || len(extra) != 0 {
 			return nil, fmt.Errorf("protocol: tenant needs exactly one name")
+		}
+		cmd.Tenant = string(name)
+	case VerbTenantCreate, VerbTenantResize:
+		// tenant_create <name> <MB> / tenant_resize <name> <MB>. The size
+		// rides in Delta (megabytes, must be non-zero).
+		name, rest2 := nextToken(rest)
+		mbTok, rest3 := nextToken(rest2)
+		extra, _ := nextToken(rest3)
+		if len(name) == 0 || len(mbTok) == 0 || len(extra) != 0 {
+			return nil, fmt.Errorf("protocol: %s needs <name> <MB>", cmd.Name)
+		}
+		mb, ok := parseUint(mbTok)
+		if !ok || mb == 0 {
+			return nil, fmt.Errorf("protocol: invalid size argument %q", mbTok)
+		}
+		cmd.Tenant = string(name)
+		cmd.Delta = mb
+	case VerbTenantDelete:
+		name, rest2 := nextToken(rest)
+		extra, _ := nextToken(rest2)
+		if len(name) == 0 || len(extra) != 0 {
+			return nil, fmt.Errorf("protocol: tenant_delete needs exactly one name")
 		}
 		cmd.Tenant = string(name)
 	case VerbFlushAll:

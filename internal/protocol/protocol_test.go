@@ -87,6 +87,37 @@ func TestReadCommandDeleteAndTenant(t *testing.T) {
 	}
 }
 
+func TestReadCommandTenantLifecycle(t *testing.T) {
+	cmd, err := parse("tenant_create app9 16\r\n")
+	if err != nil || cmd.Name != VerbTenantCreate || cmd.Tenant != "app9" || cmd.Delta != 16 {
+		t.Fatalf("tenant_create: %+v %v", cmd, err)
+	}
+	cmd, err = parse("tenant_resize app9 8\r\n")
+	if err != nil || cmd.Name != VerbTenantResize || cmd.Tenant != "app9" || cmd.Delta != 8 {
+		t.Fatalf("tenant_resize: %+v %v", cmd, err)
+	}
+	cmd, err = parse("tenant_delete app9\r\n")
+	if err != nil || cmd.Name != VerbTenantDelete || cmd.Tenant != "app9" {
+		t.Fatalf("tenant_delete: %+v %v", cmd, err)
+	}
+	for _, in := range []string{
+		"tenant_create\r\n",            // no args
+		"tenant_create app9\r\n",       // missing size
+		"tenant_create app9 0\r\n",     // zero size
+		"tenant_create app9 x\r\n",     // non-numeric size
+		"tenant_create app9 -4\r\n",    // negative size
+		"tenant_create app9 16 t\r\n",  // trailing token
+		"tenant_resize app9\r\n",       // missing size
+		"tenant_resize app9 16 xx\r\n", // trailing token
+		"tenant_delete\r\n",            // no name
+		"tenant_delete app9 extra\r\n", // trailing token
+	} {
+		if _, err := parse(in); err == nil {
+			t.Errorf("ReadCommand(%q) should fail", in)
+		}
+	}
+}
+
 // TestReadCommandFlushAllArguments covers memcached's optional flush_all
 // forms: a delay, noreply, or both — the zero-arg parse above stays the
 // common case.

@@ -264,11 +264,43 @@ func (s *Server) handle(c *session, cmd *protocol.Command) error {
 			return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
 		}
 		return protocol.WriteLine(c.w, "OK")
+	case protocol.VerbTenantCreate, protocol.VerbTenantResize, protocol.VerbTenantDelete:
+		return s.handleTenantAdmin(c, cmd)
 	case protocol.VerbVersion:
 		return protocol.WriteLine(c.w, "VERSION cliffhanger-1.0")
 	default:
 		return protocol.WriteLine(c.w, "ERROR")
 	}
+}
+
+// maxTenantMB bounds the admin-verb size argument so the MB→bytes shift can
+// never overflow int64 (2^30 MB is 1 PiB — far past any real reservation).
+const maxTenantMB = 1 << 30
+
+// handleTenantAdmin executes the runtime tenant lifecycle verbs. create and
+// resize carry the reservation in cmd.Delta (megabytes); delete takes just a
+// name. Each replies OK on success; lifecycle errors (duplicate create,
+// unknown tenant) come back as SERVER_ERROR without dropping the connection.
+func (s *Server) handleTenantAdmin(c *session, cmd *protocol.Command) error {
+	var err error
+	switch cmd.Name {
+	case protocol.VerbTenantCreate, protocol.VerbTenantResize:
+		if cmd.Delta > maxTenantMB {
+			return protocol.WriteLine(c.w, "CLIENT_ERROR tenant size out of range")
+		}
+		bytes := int64(cmd.Delta) << 20
+		if cmd.Name == protocol.VerbTenantCreate {
+			err = s.store.RegisterTenant(cmd.Tenant, bytes)
+		} else {
+			err = s.store.ResizeTenant(cmd.Tenant, bytes)
+		}
+	case protocol.VerbTenantDelete:
+		err = s.store.DeleteTenant(cmd.Tenant)
+	}
+	if err != nil {
+		return protocol.WriteLine(c.w, "SERVER_ERROR "+err.Error())
+	}
+	return protocol.WriteLine(c.w, "OK")
 }
 
 // handleGet streams one VALUE block per present key as it is looked up —
@@ -445,7 +477,10 @@ func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 	// sitting in quarantine awaiting recycle, and the lifetime count of
 	// frees that were deferred through quarantine.
 	rs, _ := s.store.ReclaimStats(c.tenant)
-	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "arena_bytes", "arena_occupancy", "epoch_current", "epoch_quarantined_chunks", "epoch_deferred_frees"}
+	// Process-wide page pool: total raw pages, unleased pages, and this
+	// tenant's lease count (pages migrate between tenants at runtime).
+	ps := s.store.PageStats()
+	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "arena_bytes", "arena_occupancy", "epoch_current", "epoch_quarantined_chunks", "epoch_deferred_frees", "page_pool_total", "page_pool_free", "lease_pages"}
 	stats := map[string]string{
 		"tenant":                   c.tenant,
 		"cmd_get":                  strconv.FormatInt(st.Requests, 10),
@@ -462,6 +497,9 @@ func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 		"epoch_current":            strconv.FormatUint(rs.Epoch, 10),
 		"epoch_quarantined_chunks": strconv.FormatInt(rs.QuarantinedChunks, 10),
 		"epoch_deferred_frees":     strconv.FormatInt(rs.DeferredFrees, 10),
+		"page_pool_total":          strconv.FormatInt(ps.TotalPages, 10),
+		"page_pool_free":           strconv.FormatInt(ps.FreePages, 10),
+		"lease_pages":              strconv.FormatInt(ps.Leases[c.tenant], 10),
 	}
 	for _, cl := range st.Classes {
 		k := fmt.Sprintf("class_%d_hit_rate", cl.Class)

@@ -176,14 +176,31 @@ func (a *Allocator) CapacityItems(i int) int64 {
 }
 
 // Grow attempts to assign one more page to class i. It reports whether a
-// free page was available.
+// free page was available. (freePages can be negative transiently after a
+// SetBudget shrink, which must gate growth just like zero.)
 func (a *Allocator) Grow(i int) bool {
-	if a.freePages == 0 {
+	if a.freePages <= 0 {
 		return false
 	}
 	a.freePages--
 	a.pages[i]++
 	return true
+}
+
+// SetBudget retargets the allocator at totalBytes (rounded down to whole
+// pages), used by live tenant resizing. Growth adds the delta to the free
+// pool; a shrink can drive freePages negative, which blocks Grow until
+// enough pages are released back (the caller walks Release until FreePages
+// is non-negative, or — in Cliffhanger mode — claws queue capacity back and
+// reconciles). It returns the new total page count.
+func (a *Allocator) SetBudget(totalBytes int64) int64 {
+	pages := totalBytes / a.geom.PageSize
+	if pages < 0 {
+		pages = 0
+	}
+	a.freePages += pages - a.totalPages
+	a.totalPages = pages
+	return pages
 }
 
 // Release returns one page from class i to the free pool. It reports whether

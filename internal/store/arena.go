@@ -46,16 +46,23 @@ package store
 // no drain goroutine, recycling), and when a stripe's quarantine hits its
 // high-water mark.
 //
-// Growth: pages are allocated lazily when a class's central freelist runs dry
-// and are never returned to the OS (memcached behaviour). Physical footprint
-// is bounded by peak residency plus the transient quarantine (itself bounded
-// by quarantineHighWater per stripe between epoch advances).
+// Growth and shrink: pages are leased lazily from the process-wide
+// pageAllocator when a class's central freelist runs dry, and — unlike stock
+// memcached — can be RETURNED: live tenant resize retires pages one at a time
+// through the migration machinery in migrate.go (sweep the page's free chunks
+// out of the freelists, evict its residents through the event buffers, let
+// stragglers drain through quarantine, then release the whole page), and
+// tenant delete returns everything once quarantine fully drains. While a page
+// is retiring, its chunks transition to a fourth accounting state, migrating
+// (counted on the migration record), and the conservation invariant reads
+// used + free + quarantined + migrating == pages * chunks-per-page.
 //
 // Lock order: bookkeeper.mu > valueShard.mu > arenaStripe.mu >
-// arenaCentral.mu. The arena never calls back into the store, so the order
-// cannot invert. The one deliberate exception: the free-pressure path may
-// TryLock OTHER stripes' mutexes while holding its own to harvest their
-// quarantines; TryLock never blocks, so no cycle can deadlock.
+// arenaCentral.mu > pageAllocator.mu. The arena never calls back into the
+// store, so the order cannot invert. The one deliberate exception: the
+// free-pressure path may TryLock OTHER stripes' mutexes while holding its own
+// to harvest their quarantines; TryLock never blocks, so no cycle can
+// deadlock.
 //
 // Values whose charged size exceeds the largest chunk (possible only under
 // the exact-size global-LRU layout, which admits items of any size) fall back
@@ -104,6 +111,15 @@ type arena struct {
 	classes []arenaCentral
 	stripes []arenaStripe
 
+	// pa is the process-wide page pool this arena leases pages from (and
+	// returns them to); owner is the tenant name the leases are booked under.
+	pa    *pageAllocator
+	owner string
+	// migrating points at the at-most-one in-flight page retirement. It is
+	// loaded on the alloc path (nil in steady state) and by the freelist
+	// sweep, the quarantine redirect and the stats walk.
+	migrating atomic.Pointer[migration]
+
 	// epoch is the global reclamation clock: it only ever advances. A chunk
 	// quarantined at epoch E may be recycled once every active pin is > E.
 	epoch atomic.Uint64
@@ -119,7 +135,8 @@ type arena struct {
 type arenaCentral struct {
 	mu        sync.Mutex
 	free      [][]byte // full-capacity chunks, len == cap == chunk size
-	pages     int64    // pages carved for this class (never released)
+	pages     int64    // pages currently carved for this class
+	pageBufs  [][]byte // the raw page buffers backing those pages
 	chunkSize int64
 	perPage   int64
 	// used counts chunks currently backing resident values (including ones
@@ -152,13 +169,16 @@ type arenaStripe struct {
 	quar []quarChunk
 }
 
-// newArena builds an arena over geom with one stripe per value shard.
-func newArena(geom *slab.Geometry, stripes int) *arena {
+// newArena builds an arena over geom with one stripe per value shard,
+// leasing pages from pa under the given owner name.
+func newArena(geom *slab.Geometry, stripes int, pa *pageAllocator, owner string) *arena {
 	a := &arena{
 		geom:    geom,
 		classes: make([]arenaCentral, geom.NumClasses()),
 		stripes: make([]arenaStripe, stripes),
 		slots:   make([]pinSlot, stripes),
+		pa:      pa,
+		owner:   owner,
 	}
 	a.epoch.Store(1)
 	for c := range a.classes {
@@ -256,14 +276,24 @@ func (a *arena) reclaimStripeLocked(st *arenaStripe) {
 	if n == 0 {
 		return
 	}
+	m := a.migrating.Load()
 	for i := 0; i < n; i++ {
 		q := st.quar[i]
+		a.classes[q.class].quarantined.Add(-1)
+		if m != nil && m.class == q.class && m.contains(q.chunk) {
+			// The chunk belongs to the retiring page: it has now outlived
+			// every pinned reader, so it joins the migration instead of the
+			// freelist. This is the path that makes page retirement respect
+			// zero-copy readers.
+			m.got.Add(1)
+			a.maybeFinishMigration(m)
+			continue
+		}
 		cache := append(st.free[q.class], q.chunk)
 		if len(cache) > stripeCap {
 			cache = a.flushLocked(q.class, cache)
 		}
 		st.free[q.class] = cache
-		a.classes[q.class].quarantined.Add(-1)
 	}
 	rest := copy(st.quar, st.quar[n:])
 	for i := rest; i < len(st.quar); i++ {
@@ -285,18 +315,31 @@ func (a *arena) quarantinedChunks() int64 {
 
 // alloc returns a full-length chunk of the given class, preferring the
 // stripe's cache, then the central freelist, then the stripe's own reclaimed
-// quarantine, then a freshly carved page.
+// quarantine, then a freshly carved page. While a page retirement is in
+// flight, a popped chunk belonging to the retiring page is captured for the
+// migration instead of handed out — this intercept is what guarantees that
+// from the moment a migration is published, no new resident can land on the
+// retiring page. The steady-state cost is one atomic nil load.
 func (a *arena) alloc(stripe, class int) []byte {
 	st := &a.stripes[stripe]
 	st.mu.Lock()
-	if len(st.free[class]) == 0 {
-		a.refillLocked(st, class)
+	var c []byte
+	for {
+		if len(st.free[class]) == 0 {
+			a.refillLocked(st, class)
+		}
+		cache := st.free[class]
+		n := len(cache) - 1
+		c = cache[n]
+		cache[n] = nil
+		st.free[class] = cache[:n]
+		if m := a.migrating.Load(); m != nil && m.class == class && m.contains(c) {
+			m.got.Add(1)
+			a.maybeFinishMigration(m)
+			continue
+		}
+		break
 	}
-	cache := st.free[class]
-	n := len(cache) - 1
-	c := cache[n]
-	cache[n] = nil
-	st.free[class] = cache[:n]
 	st.mu.Unlock()
 	a.classes[class].used.Add(1)
 	return c
@@ -342,7 +385,7 @@ func (a *arena) refillLocked(st *arenaStripe, class int) {
 
 	cl.mu.Lock()
 	if len(cl.free) == 0 {
-		page := make([]byte, a.geom.PageSize)
+		page := a.pa.lease(a.owner)
 		cs := cl.chunkSize
 		for off := int64(0); off+cs <= a.geom.PageSize; off += cs {
 			// The three-index slice caps each chunk at its own boundary, so
@@ -351,6 +394,7 @@ func (a *arena) refillLocked(st *arenaStripe, class int) {
 			cl.free = append(cl.free, page[off:off+cs:off+cs])
 		}
 		cl.pages++
+		cl.pageBufs = append(cl.pageBufs, page)
 	}
 	st.free[class] = a.pullLocked(cl, st.free[class])
 	cl.mu.Unlock()
@@ -429,12 +473,15 @@ type ArenaClassStats struct {
 	// UsedChunks counts chunks backing resident values; FreeChunks counts
 	// chunks on the central freelist and the per-stripe caches;
 	// QuarantinedChunks counts retired chunks parked until every reader
-	// epoch advances past them. Under live traffic the split is approximate
-	// (a chunk in flight between lists is momentarily in none); on a
-	// quiesced store Used + Free + Quarantined == Total exactly.
+	// epoch advances past them; MigratingChunks counts chunks of the class's
+	// retiring page already captured by an in-flight page migration. Under
+	// live traffic the split is approximate (a chunk in flight between lists
+	// is momentarily in none); on a quiesced store
+	// Used + Free + Quarantined + Migrating == Total exactly.
 	UsedChunks        int64
 	FreeChunks        int64
 	QuarantinedChunks int64
+	MigratingChunks   int64
 }
 
 // ArenaBytes returns the bytes the class's pages occupy.
@@ -491,6 +538,13 @@ func (a *arena) centralStats() []ArenaClassStats {
 			FreeChunks:        int64(len(cl.free)),
 			QuarantinedChunks: cl.quarantined.Load(),
 		}
+		// The migrating count must come from the same cl.mu section as pages
+		// and the central freelist: migration completion (pages--, pointer
+		// cleared) and the central sweep both mutate under cl.mu, so reading
+		// here keeps the per-class snapshot internally consistent.
+		if m := a.migrating.Load(); m != nil && m.class == c {
+			out[c].MigratingChunks = m.got.Load()
+		}
 		cl.mu.Unlock()
 	}
 	return out
@@ -540,23 +594,26 @@ func (a *arena) statsSealed() []ArenaClassStats {
 	return out
 }
 
-// checkConservation verifies the arena's three-state chunk-conservation
-// invariant on a quiesced store: for every class, every chunk of every carved
-// page is backing a resident value, sitting on a freelist, or parked in
-// quarantine — used + free + quarantined == pages * chunks-per-page, with no
-// chunk leaked and none double-freed. usedWant gives the caller-counted
-// resident chunks per class (from walking the item directory); pass nil to
-// skip that cross-check. The sealed snapshot keeps the check sound even while
-// the bookkeeper's drain tick reclaims concurrently.
+// checkConservation verifies the arena's chunk-conservation invariant on a
+// quiesced store: for every class, every chunk of every carved page is
+// backing a resident value, sitting on a freelist, parked in quarantine, or
+// captured by an in-flight page migration —
+// used + free + quarantined + migrating == pages * chunks-per-page, with no
+// chunk leaked and none double-freed (the migrating term is zero whenever no
+// page is retiring, which restores the classic three-state form). usedWant
+// gives the caller-counted resident chunks per class (from walking the item
+// directory); pass nil to skip that cross-check. The sealed snapshot keeps
+// the check sound even while the bookkeeper's drain tick reclaims — or a
+// migration collects — concurrently.
 func (a *arena) checkConservation(usedWant []int64) error {
 	for _, st := range a.statsSealed() {
-		if st.UsedChunks+st.FreeChunks+st.QuarantinedChunks != st.TotalChunks {
-			return fmt.Errorf("class %d (chunk %d): used %d + free %d + quarantined %d != total %d (%d pages)",
-				st.Class, st.ChunkSize, st.UsedChunks, st.FreeChunks, st.QuarantinedChunks, st.TotalChunks, st.Pages)
+		if st.UsedChunks+st.FreeChunks+st.QuarantinedChunks+st.MigratingChunks != st.TotalChunks {
+			return fmt.Errorf("class %d (chunk %d): used %d + free %d + quarantined %d + migrating %d != total %d (%d pages)",
+				st.Class, st.ChunkSize, st.UsedChunks, st.FreeChunks, st.QuarantinedChunks, st.MigratingChunks, st.TotalChunks, st.Pages)
 		}
-		if st.UsedChunks < 0 || st.FreeChunks < 0 || st.QuarantinedChunks < 0 {
-			return fmt.Errorf("class %d: negative occupancy (used %d, free %d, quarantined %d)",
-				st.Class, st.UsedChunks, st.FreeChunks, st.QuarantinedChunks)
+		if st.UsedChunks < 0 || st.FreeChunks < 0 || st.QuarantinedChunks < 0 || st.MigratingChunks < 0 {
+			return fmt.Errorf("class %d: negative occupancy (used %d, free %d, quarantined %d, migrating %d)",
+				st.Class, st.UsedChunks, st.FreeChunks, st.QuarantinedChunks, st.MigratingChunks)
 		}
 		if usedWant != nil && st.UsedChunks != usedWant[st.Class] {
 			return fmt.Errorf("class %d: arena counts %d used chunks, directory holds %d",

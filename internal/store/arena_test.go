@@ -291,7 +291,7 @@ func TestArenaGlobalLRUOversizeFallback(t *testing.T) {
 // buffer whose capacity does not match the class's chunk size (an accounting
 // bug, were it ever to happen) must panic rather than corrupt the pools.
 func TestArenaChunkMisfreePanics(t *testing.T) {
-	a := newArena(slab.DefaultGeometry(), 4)
+	a := newArena(slab.DefaultGeometry(), 4, newPageAllocator(slab.DefaultPageSize), "t")
 	defer func() {
 		if recover() == nil {
 			t.Fatal("freeing a mis-sized chunk did not panic")
@@ -306,7 +306,7 @@ func TestArenaChunkMisfreePanics(t *testing.T) {
 // the freelists.
 func TestArenaRecycling(t *testing.T) {
 	geom := slab.DefaultGeometry()
-	a := newArena(geom, 8)
+	a := newArena(geom, 8, newPageAllocator(geom.PageSize), "t")
 	class, _ := a.classFor(200)
 	var chunks [][]byte
 	for i := 0; i < 5000; i++ {

@@ -62,6 +62,10 @@ const (
 	// evExpire records the removal of a record whose TTL lapsed (lazy GET
 	// check or background reaper). Structural; never dropped.
 	evExpire
+	// evMigrate records the eviction of a resident whose chunk sits on a
+	// retiring page (page-granular migration, migrate.go). Structural; never
+	// dropped.
+	evMigrate
 )
 
 // event is one deferred bookkeeping operation. seq is a per-tenant arrival
@@ -283,6 +287,8 @@ func (b *bookkeeper) applyEventLocked(ev event) {
 		b.tenant.Delete(ev.key, ev.size)
 	case evExpire:
 		b.tenant.Expire(ev.key, ev.size)
+	case evMigrate:
+		b.tenant.EvictMigrated(ev.key, ev.size)
 	}
 	if ev.kind == evAdmit || ev.kind == evReAdmit {
 		b.entry.markAdmitted(ev.key, ev.seq)
@@ -309,6 +315,7 @@ func (b *bookkeeper) drainLoop() {
 			b.reap()
 			b.sweep()
 			b.reclaimArena()
+			b.reconfigure()
 		}
 	}
 }
@@ -326,6 +333,17 @@ func (b *bookkeeper) reclaimArena() {
 	}
 	a.advanceEpoch()
 	a.reclaim()
+}
+
+// reconfigure advances any pending live-resize work — structural capacity
+// steps and page migrations — by one bounded step per drain tick, so a
+// tenant_resize executes incrementally off the drain loop and traffic is
+// never stalled behind it. The needed check keeps idle ticks at a few atomic
+// loads.
+func (b *bookkeeper) reconfigure() {
+	if b.entry.reconfigureNeeded() {
+		b.entry.reconfigureTick()
+	}
 }
 
 // reap is the incremental background expiry pass: each drain tick it scans

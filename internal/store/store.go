@@ -53,11 +53,18 @@ const defaultValueShards = 64
 type Store struct {
 	cfg Config
 
+	// pa owns the process's raw slab pages; every tenant arena leases from
+	// it, which is what makes pages movable between tenants at runtime.
+	pa *pageAllocator
+
 	// tenants is a copy-on-write map so the hot path reads it without
-	// locking; mu serializes registration and close.
+	// locking; mu serializes registration, deletion and close.
 	mu      sync.Mutex
 	tenants atomic.Pointer[map[string]*tenantEntry]
 	closed  bool
+	// teardowns tracks the asynchronous drains of deleted tenants; Close
+	// waits for them so no teardown goroutine outlives the store.
+	teardowns sync.WaitGroup
 }
 
 // item is one entry of the per-shard metadata directory: the value plus the
@@ -226,6 +233,25 @@ type tenantEntry struct {
 	// records last written before it become invalid once it passes. Read
 	// lock-free on the hot path.
 	flushAt atomic.Int64
+
+	// Live-reconfiguration state (migrate.go). targetBytes is the
+	// reservation the tenant should converge to; appliedBytes mirrors the
+	// structural reservation already applied (a lock-free hint for the drain
+	// tick's is-there-work probe — the authoritative value lives in the
+	// Tenant under bk.mu). resized latches once a ResizeTenant has ever run:
+	// physical page retirement only happens on explicitly resized tenants,
+	// so a static deployment stays byte-for-byte identical to the
+	// pre-lifecycle engine (the sim-vs-wire parity check depends on that).
+	targetBytes  atomic.Int64
+	appliedBytes atomic.Int64
+	resized      atomic.Bool
+	// reconfMu serializes reconfigure ticks (drain loop vs. synchronous
+	// ResizeTenant callers).
+	reconfMu sync.Mutex
+	// dying fences record creation once DeleteTenant has unregistered the
+	// tenant: a straggler holding this entry from before the copy-on-write
+	// removal must not install new values behind the teardown's flush.
+	dying atomic.Bool
 }
 
 func (e *tenantEntry) shardFor(key string) *valueShard {
@@ -406,7 +432,7 @@ func New(cfg Config) *Store {
 	if cfg.Now == nil {
 		cfg.Now = func() int64 { return time.Now().Unix() }
 	}
-	s := &Store{cfg: cfg}
+	s := &Store{cfg: cfg, pa: newPageAllocator(cfg.Geometry.PageSize)}
 	empty := make(map[string]*tenantEntry)
 	s.tenants.Store(&empty)
 	return s
@@ -457,13 +483,19 @@ func (s *Store) RegisterTenantConfig(cfg TenantConfig) error {
 	if _, dup := old[cfg.Name]; dup {
 		return fmt.Errorf("store: tenant %q already registered", cfg.Name)
 	}
+	if cfg.Geometry.PageSize != s.pa.pageSize {
+		return fmt.Errorf("store: tenant %q page size %d does not match the store's page pool (%d)",
+			cfg.Name, cfg.Geometry.PageSize, s.pa.pageSize)
+	}
 	n := nextPow2(s.cfg.ValueShards)
 	e := &tenantEntry{
 		tenant: tenant,
 		shards: make([]valueShard, n),
 		mask:   uint64(n - 1),
-		arena:  newArena(cfg.Geometry, n),
+		arena:  newArena(cfg.Geometry, n, s.pa, cfg.Name),
 	}
+	e.targetBytes.Store(cfg.MemoryBytes)
+	e.appliedBytes.Store(cfg.MemoryBytes)
 	for i := range e.shards {
 		e.shards[i].items = make(map[string]*item)
 		e.shards[i].idx = i
@@ -476,6 +508,94 @@ func (s *Store) RegisterTenantConfig(cfg TenantConfig) error {
 	next[cfg.Name] = e
 	s.tenants.Store(&next)
 	return nil
+}
+
+// ResizeTenant retargets a live tenant's memory reservation at newBytes. The
+// call only records the target: the resize executes incrementally off the
+// tenant's bookkeeper drain loop — structural capacity moves in bounded
+// steps, and surplus pages are retired one at a time through the migration
+// machinery — so traffic is never stalled or dropped. With synchronous
+// bookkeeping (no drain goroutine) the work is driven here instead, bounded
+// so a long-held reader pin cannot wedge the caller; Flush drives any
+// remainder.
+func (s *Store) ResizeTenant(name string, newBytes int64) error {
+	if newBytes <= 0 {
+		return fmt.Errorf("store: tenant %q needs a positive memory reservation", name)
+	}
+	e, ok := s.entry(name)
+	if !ok || e.dying.Load() {
+		return ErrNoTenant{name}
+	}
+	e.targetBytes.Store(newBytes)
+	e.resized.Store(true)
+	if s.cfg.SyncBookkeeping {
+		for i := 0; i < 4096 && e.reconfigureTick(); i++ {
+		}
+	}
+	return nil
+}
+
+// DeleteTenant unregisters a tenant: the copy-on-write registry update makes
+// it invisible to new requests immediately, and an asynchronous teardown
+// flushes its records, waits for the quarantine to fully drain — no recycled
+// chunk may still be pinned by a reader of the dying tenant — and only then
+// returns its pages to the process-wide pool. In-flight requests holding the
+// entry finish safely: reads complete against the still-valid arena, and
+// record-creating writes are fenced by the dying flag.
+func (s *Store) DeleteTenant(name string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("store: closed")
+	}
+	old := *s.tenants.Load()
+	e, ok := old[name]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNoTenant{name}
+	}
+	next := make(map[string]*tenantEntry, len(old)-1)
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	s.tenants.Store(&next)
+	s.teardowns.Add(1)
+	s.mu.Unlock()
+	e.dying.Store(true)
+	go s.teardownTenant(e)
+	return nil
+}
+
+// teardownTenant drains a deleted tenant: stop its bookkeeper, flush every
+// record through the normal event path, then spin the epoch clock until
+// every chunk has left quarantine (a pinned reader of the dying tenant
+// blocks this exactly as long as it holds its view) and any in-flight page
+// migration has completed. Only a fully drained arena returns its pages.
+func (s *Store) teardownTenant(e *tenantEntry) {
+	defer s.teardowns.Done()
+	e.bk.close()
+	s.flushNow(e)
+	for {
+		if m := e.arena.migrating.Load(); m != nil {
+			e.arena.migrationSweep(m)
+		}
+		e.arena.advanceEpoch()
+		e.arena.reclaim()
+		if e.arena.usedChunks() == 0 && e.arena.quarantinedChunks() == 0 && e.arena.migrating.Load() == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.arena.releaseAll()
+}
+
+// PageStats reports the process-wide page pool: total raw pages, pages
+// sitting unleased in the free pool, and per-tenant lease counts. A deleted
+// tenant's lease entry disappears once its teardown has returned every page.
+func (s *Store) PageStats() PageStats {
+	return s.pa.stats()
 }
 
 // Tenants returns the registered tenant names, sorted.
@@ -829,6 +949,13 @@ func (s *Store) SetItemBytes(tenant string, key, value []byte, flags uint32, exp
 // consulted even if expired — its structural entry is still resident, so the
 // re-admit must shed it. The caller must hold sh.mu, which is released here.
 func (s *Store) commitSetLocked(e *tenantEntry, sh *valueShard, tenant, key string, prev *item, value []byte, flags uint32, exptime int64) error {
+	if e.dying.Load() {
+		// The tenant was deleted after this caller resolved the entry: the
+		// check runs under the shard lock, ordered before the teardown's
+		// flush sweep of this shard, so no record can be created behind it.
+		sh.mu.Unlock()
+		return ErrNoTenant{tenant}
+	}
 	ev := e.setLocked(sh, key, prev, value, flags, s.deadline(exptime), s.cfg.Now())
 	act := e.bufferMutationLocked(sh, &ev)
 	sh.mu.Unlock()
@@ -885,6 +1012,10 @@ func (s *Store) mutate(tenant, key string, decide func(live *item) (value []byte
 	}
 	sh := e.shardFor(key)
 	sh.mu.Lock()
+	if e.dying.Load() {
+		sh.mu.Unlock()
+		return false, ErrNoTenant{tenant}
+	}
 	it, exp, expAct, hasExp := s.liveLocked(e, sh, key)
 	value, flags, expires, doStore, err := decide(it)
 	if err != nil || !doStore {
@@ -1008,6 +1139,10 @@ func (s *Store) concatBytes(tenant string, key, extra []byte, front bool) (bool,
 // the shard's behalf (a dead record was shed and reported before reaching
 // this point); key strings come from the record itself (interned).
 func (s *Store) concatLocked(e *tenantEntry, sh *valueShard, tenant string, it *item, extra []byte, front bool) (bool, error) {
+	if e.dying.Load() {
+		sh.mu.Unlock()
+		return false, ErrNoTenant{tenant}
+	}
 	key := it.key
 	oldLen := len(it.value)
 	newSize := it.size + int64(len(extra))
@@ -1256,6 +1391,7 @@ func (s *Store) Close() error {
 	for _, e := range *s.tenants.Load() {
 		e.bk.close()
 	}
+	s.teardowns.Wait()
 	return nil
 }
 

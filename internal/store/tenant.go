@@ -407,6 +407,91 @@ func (t *Tenant) Touch(key string, size int64) bool {
 	return hit
 }
 
+// EvictMigrated removes key's structural entry on behalf of a page
+// migration, counting it as an eviction: retiring a page evicts its
+// residents (Memshare semantics), and the hit-rate damage must be visible in
+// the same counters organic evictions land in. Only counted when an entry
+// was actually removed, so a migration event racing an eviction replay of
+// the same key is not double-counted.
+func (t *Tenant) EvictMigrated(key string, size int64) bool {
+	class, ok := t.ClassFor(size)
+	if !ok {
+		return false
+	}
+	if !t.removeFrom(class, key) {
+		return false
+	}
+	t.classEvict[class]++
+	return true
+}
+
+// Resize retargets the tenant's reservation at newBytes and returns the
+// victims the shrink evicted (nil on growth, whose extra room reaches the
+// queues through the normal on-demand grow paths). The caller owns dropping
+// the victims' values, exactly as after Admit.
+func (t *Tenant) Resize(newBytes int64) []cache.Victim {
+	if newBytes <= 0 || newBytes == t.cfg.MemoryBytes {
+		return nil
+	}
+	old := t.cfg.MemoryBytes
+	t.cfg.MemoryBytes = newBytes
+	switch t.cfg.Mode {
+	case AllocGlobalLRU:
+		return t.classes[0].Resize(newBytes)
+	case AllocStatic:
+		// Static budgets have no free pool to mediate; scale every class
+		// proportionally, keeping room for at least one item each.
+		var victims []cache.Victim
+		for c, q := range t.classes {
+			nb := int64(float64(q.Capacity()) * float64(newBytes) / float64(old))
+			if nb < t.geom.ChunkSize(c) {
+				nb = t.geom.ChunkSize(c)
+			}
+			victims = append(victims, q.Resize(nb)...)
+		}
+		return victims
+	case AllocCliffhanger:
+		victims := t.manager.Resize(newBytes)
+		t.alloc.SetBudget(newBytes)
+		// Re-sync the page gate with the clawed-back capacities: a class
+		// should hold about ceil(capacity / pageSize) pages, and releasing
+		// the excess restores FreePages ⇔ (budget - CapacitySum) so future
+		// growth is gated correctly.
+		for c := 0; c < t.geom.NumClasses(); c++ {
+			q := t.manager.Queue(t.classID(c))
+			if q == nil {
+				continue
+			}
+			wantPages := (q.Capacity() + t.geom.PageSize - 1) / t.geom.PageSize
+			for t.alloc.PagesOf(c) > wantPages {
+				if !t.alloc.Release(c) {
+					break
+				}
+			}
+		}
+		return victims
+	default: // AllocDefault
+		t.alloc.SetBudget(newBytes)
+		// A shrink leaves the free-page balance negative; shed pages from the
+		// largest classes (shrinking their queues to match) until it clears.
+		var victims []cache.Victim
+		for t.alloc.FreePages() < 0 {
+			best, most := -1, int64(0)
+			for c := range t.classes {
+				if p := t.alloc.PagesOf(c); p > most {
+					best, most = c, p
+				}
+			}
+			if best < 0 {
+				break
+			}
+			t.alloc.Release(best)
+			victims = append(victims, t.classes[best].Resize(t.alloc.BytesOf(best))...)
+		}
+		return victims
+	}
+}
+
 // Expire removes key's structural entry after its TTL lapsed. Unlike Delete
 // it counts an expiration, not a client delete — and only when an entry was
 // actually removed, so an expiry event racing an eviction replay of the same
