@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race4 vet fmt bench bins conformance alloccheck fuzz replay churn verify clean
+.PHONY: build test race race4 vet fmt bench bins conformance alloccheck fuzz replay churn verify chaos drain clean
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,34 @@ churn: bins
 # TestCrossCheckMemcachierSimVsWire).
 verify: bins
 	./bin/cliffbench -trace memcachier -verify -requests 100000 -scale 0.25
+
+# chaos runs the fault-injection suite under the race detector with real
+# parallelism: the connection governor, graceful drain and chaos proxy are
+# driven through resets mid-payload, slow-loris dribbles, half-closed
+# sockets, accept storms and panicking handlers, asserting no panics, no
+# goroutine leaks, exact arena conservation and zero failed requests for the
+# healthy cohort.
+chaos:
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestChaos' ./internal/server/
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/chaos/ ./internal/client/
+
+# drain is the graceful-shutdown smoke: SIGTERM a live cliffhangerd while
+# cliffbench hammers it through the chaos proxy. The daemon must exit 0
+# (clean drain within -drain-timeout, every accepted in-flight request
+# answered) and cliffbench must retire its workers gracefully.
+drain: bins
+	@set -e; \
+	addr=127.0.0.1:13223; \
+	./bin/cliffhangerd -addr $$addr -tenants default:64 -drain-timeout 10s & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	./bin/cliffbench -addr $$addr -duration 30s -conns 4 -keys 20000 \
+		-chaos 'latency=200us,chunk=64,reset-prob=0.00002' -tolerate-faults & bench=$$!; \
+	sleep 3; \
+	kill -TERM $$pid; \
+	if wait $$pid; then echo "drain: daemon exited cleanly"; else \
+		echo "drain: daemon failed to drain cleanly"; exit 1; fi; \
+	wait $$bench || true
 
 clean:
 	rm -rf bin

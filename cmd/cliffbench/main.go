@@ -21,11 +21,20 @@
 // within -tolerance. -print-tenants prints the cliffhangerd -tenants value
 // matching the chosen trace.
 //
+// -chaos <spec> replays the workload through an in-process fault-injecting
+// proxy (internal/chaos) between cliffbench and the server: latency, jitter,
+// bandwidth caps, partial writes, torn-mid-payload resets, half-closed
+// sockets. Pair it with -tolerate-faults, which turns transport failures
+// into counted graceful worker stops instead of fatal errors — also the
+// right mode when SIGTERMing the daemon under live load to exercise its
+// graceful drain.
+//
 // Examples:
 //
 //	cliffbench -addr 127.0.0.1:11211 -conns 8 -duration 30s -zipf 0.9
 //	cliffbench -trace memcachier -duration 30s -rate 50000
 //	cliffbench -trace memcachier -verify
+//	cliffbench -duration 10s -chaos 'latency=1ms,chunk=7,reset-prob=0.0002' -tolerate-faults
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cliffhanger/internal/chaos"
 	"cliffhanger/internal/client"
 	"cliffhanger/internal/metrics"
 	"cliffhanger/internal/protocol"
@@ -74,6 +84,8 @@ func main() {
 		churn     = flag.Bool("churn", false, "run the tenant-churn lifecycle scenario (create/shrink/recover) and exit")
 		tenantMB  = flag.Int64("tenant-mb", 64, "primary tenant reservation in MB; -churn uses it to compute resize targets")
 		churnMB   = flag.Int64("churn-mb", 32, "reservation in MB for the tenant -churn creates and deletes")
+		chaosSpec = flag.String("chaos", "", "replay through an in-process fault proxy with this spec, e.g. latency=1ms,chunk=7,reset-prob=0.0002 (empty disables)")
+		tolerate  = flag.Bool("tolerate-faults", false, "count transport failures as graceful worker stops instead of aborting (for -chaos and drain testing)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cliffbench: ", 0)
@@ -128,6 +140,27 @@ func main() {
 		return
 	}
 
+	// With -chaos, workers dial a local fault-injecting proxy in front of the
+	// server; warmup still goes direct so the cache starts from a known state.
+	dialAddr := *addr
+	if *chaosSpec != "" {
+		cfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		cfg.Target = *addr
+		proxy := chaos.New(cfg)
+		if err := proxy.Start(); err != nil {
+			logger.Fatalf("chaos proxy: %v", err)
+		}
+		defer func() {
+			proxy.Close()
+			logger.Printf("chaos proxy: %d connections, %d injected resets", proxy.Accepted(), proxy.Resets())
+		}()
+		dialAddr = proxy.Addr()
+		logger.Printf("chaos proxy on %s -> %s (%s)", dialAddr, *addr, *chaosSpec)
+	}
+
 	wl := open(logger, *traceSpec, opts)
 	defer wl.Close()
 	// Map multi-app traces onto app<N> server tenants unless the caller
@@ -173,6 +206,7 @@ func main() {
 
 	var (
 		ops, hits, misses, fills, mutations, rejected atomic.Int64
+		faults                                        atomic.Int64
 		lat                                           metrics.LatencyHistogram
 		perApp                                        = metrics.NewSummary()
 		wg                                            sync.WaitGroup
@@ -222,15 +256,24 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			// Under chaos or drain testing the client rides out transient
+			// failures on idempotent verbs; a clean run keeps the historic
+			// fail-fast single-dial behavior.
+			copts := client.Options{DialTimeout: *timeout}
+			if *tolerate || *chaosSpec != "" {
+				copts.OpTimeout = 2 * *timeout
+				copts.MaxRetries = 3
+			}
 			w := &worker{
 				logger:    logger,
-				c:         dial(logger, *addr, *tenant, *timeout),
+				c:         dialOptions(logger, dialAddr, *tenant, copts),
 				rng:       rand.New(rand.NewSource(*seed + int64(id))),
 				payload:   payload,
 				pipeline:  *pipeline,
 				mapApps:   mapApps,
 				ttl:       *ttl,
 				mutate:    *mutate,
+				tolerate:  *tolerate,
 				ops:       &ops,
 				hits:      &hits,
 				misses:    &misses,
@@ -250,7 +293,17 @@ func main() {
 					if !ok {
 						return
 					}
-					w.processBatch(b)
+					if err := w.processBatch(b); err != nil {
+						// Transport gave out past the client's retries. Under
+						// -tolerate-faults that is an expected outcome of
+						// injected chaos or a draining server: count it and
+						// retire the worker gracefully.
+						if !w.tolerate {
+							logger.Fatalf("%v", err)
+						}
+						faults.Add(1)
+						return
+					}
 				}
 			}
 		}(i)
@@ -264,8 +317,8 @@ func main() {
 	if h+m > 0 {
 		hitRate = float64(h) / float64(h+m)
 	}
-	fmt.Printf("ops=%d ops/s=%.0f hit_rate=%.4f fills=%d mutations=%d rejected_sets=%d\n",
-		total, float64(total)/elapsed.Seconds(), hitRate, fills.Load(), mutations.Load(), rejected.Load())
+	fmt.Printf("ops=%d ops/s=%.0f hit_rate=%.4f fills=%d mutations=%d rejected_sets=%d faulted_workers=%d\n",
+		total, float64(total)/elapsed.Seconds(), hitRate, fills.Load(), mutations.Load(), rejected.Load(), faults.Load())
 	if *rate > 0 {
 		// Demand fills ride along with misses but are not scheduled, so the
 		// achieved rate counts trace requests only.
@@ -302,6 +355,7 @@ type worker struct {
 	mapApps  bool
 	ttl      int64
 	mutate   float64
+	tolerate bool
 
 	curApp  int
 	keys    []string
@@ -317,8 +371,9 @@ type worker struct {
 // as one pipelined streaming batch (the misses demand-filled afterwards),
 // everything else as individual round trips. Latency is recorded per round
 // trip in closed-loop mode, and once per batch from its scheduled send time
-// in open-loop mode.
-func (w *worker) processBatch(b reqBatch) {
+// in open-loop mode. A returned error is a transport failure that outlived
+// the client's retries; the caller decides whether it is fatal.
+func (w *worker) processBatch(b reqBatch) error {
 	if !b.due.IsZero() {
 		if d := time.Until(b.due); d > 0 {
 			time.Sleep(d)
@@ -329,9 +384,13 @@ func (w *worker) processBatch(b reqBatch) {
 	for i < len(b.reqs) {
 		r := b.reqs[i]
 		if r.Op == trace.OpGet && w.mutate > 0 && w.rng.Float64() < w.mutate {
-			w.selectApp(r.App)
+			if err := w.selectApp(r.App); err != nil {
+				return err
+			}
 			start := time.Now()
-			w.runMutation(r)
+			if err := w.runMutation(r); err != nil {
+				return err
+			}
 			if closedLoop {
 				w.lat.Record(time.Since(start))
 			}
@@ -351,10 +410,12 @@ func (w *worker) processBatch(b reqBatch) {
 				w.hitbuf = append(w.hitbuf, false)
 				j++
 			}
-			w.selectApp(r.App)
+			if err := w.selectApp(r.App); err != nil {
+				return err
+			}
 			start := time.Now()
 			if err := w.c.PipelineGetFunc(w.keys, w.onValue); err != nil {
-				w.logger.Fatalf("get: %v", err)
+				return fmt.Errorf("get: %w", err)
 			}
 			if closedLoop {
 				w.lat.Record(time.Since(start))
@@ -370,7 +431,9 @@ func (w *worker) processBatch(b reqBatch) {
 				w.misses.Add(1)
 				w.fills.Add(1)
 				w.ops.Add(1)
-				w.set(b.reqs[i+idx])
+				if err := w.set(b.reqs[i+idx]); err != nil {
+					return err
+				}
 			}
 			w.hits.Add(batchHits)
 			if w.mapApps {
@@ -380,19 +443,25 @@ func (w *worker) processBatch(b reqBatch) {
 			}
 			i = j
 		case trace.OpSet:
-			w.selectApp(r.App)
+			if err := w.selectApp(r.App); err != nil {
+				return err
+			}
 			start := time.Now()
-			w.set(r)
+			if err := w.set(r); err != nil {
+				return err
+			}
 			if closedLoop {
 				w.lat.Record(time.Since(start))
 			}
 			w.ops.Add(1)
 			i++
 		case trace.OpDelete:
-			w.selectApp(r.App)
+			if err := w.selectApp(r.App); err != nil {
+				return err
+			}
 			start := time.Now()
 			if _, err := w.c.Delete(r.Key); err != nil {
-				w.logger.Fatalf("delete: %v", err)
+				return fmt.Errorf("delete: %w", err)
 			}
 			if closedLoop {
 				w.lat.Record(time.Since(start))
@@ -406,31 +475,34 @@ func (w *worker) processBatch(b reqBatch) {
 	if !closedLoop {
 		w.lat.Record(time.Since(b.due))
 	}
+	return nil
 }
 
 // set stores r's key with a value sized to the trace's Size; SETs the server
 // rejects (larger than every slab class) are counted, not fatal — the
 // workload legitimately contains such items and they behave as permanent
 // misses, exactly as in the simulator.
-func (w *worker) set(r trace.Request) {
+func (w *worker) set(r trace.Request) error {
 	if err := w.c.SetWithOptions(r.Key, workload.PadValue(w.payload, r), 0, w.ttl); err != nil {
 		if errors.Is(err, protocol.ErrRemote) {
 			w.rejected.Add(1)
-			return
+			return nil
 		}
-		w.logger.Fatalf("set: %v", err)
+		return fmt.Errorf("set: %w", err)
 	}
+	return nil
 }
 
 // selectApp switches the connection to r's tenant when app mapping is on.
-func (w *worker) selectApp(app int) {
+func (w *worker) selectApp(app int) error {
 	if !w.mapApps || app == w.curApp {
-		return
+		return nil
 	}
 	if err := w.c.SelectTenant(workload.TenantName(app)); err != nil {
-		w.logger.Fatalf("tenant app%d: %v", app, err)
+		return fmt.Errorf("tenant app%d: %w", app, err)
 	}
 	w.curApp = app
+	return nil
 }
 
 // runMutation issues one mutation verb against r's key: a TTL refresh
@@ -438,28 +510,32 @@ func (w *worker) selectApp(app int) {
 // NOT_FOUND outcomes are normal under eviction and expiry; an append
 // rejected because the value outgrew its slab class is healed by re-setting
 // the key.
-func (w *worker) runMutation(r trace.Request) {
+func (w *worker) runMutation(r trace.Request) error {
 	switch w.rng.Intn(3) {
 	case 0:
 		if _, err := w.c.Touch(r.Key, w.ttl); err != nil {
-			w.logger.Fatalf("touch: %v", err)
+			return fmt.Errorf("touch: %w", err)
 		}
 	case 1:
 		if _, err := w.c.Append(r.Key, []byte("+")); err != nil {
-			// Likely grown past the largest slab class: reset the key.
-			w.set(r)
+			if errors.Is(err, protocol.ErrRemote) {
+				// Likely grown past the largest slab class: reset the key.
+				return w.set(r)
+			}
+			return fmt.Errorf("append: %w", err)
 		}
 	default:
 		ctr := r.Key + ".ctr"
 		if _, found, err := w.c.Incr(ctr, 1); err != nil {
-			w.logger.Fatalf("incr: %v", err)
+			return fmt.Errorf("incr: %w", err)
 		} else if !found {
 			// First touch of this counter: seed it.
 			if err := w.c.SetWithOptions(ctr, []byte("0"), 0, w.ttl); err != nil {
-				w.logger.Fatalf("incr seed: %v", err)
+				return fmt.Errorf("incr seed: %w", err)
 			}
 		}
 	}
+	return nil
 }
 
 // runVerify executes the sim-vs-wire cross-check and exits non-zero when
@@ -513,7 +589,11 @@ func open(logger *log.Logger, spec string, opts workload.Options) *workload.Work
 }
 
 func dial(logger *log.Logger, addr, tenant string, timeout time.Duration) *client.Client {
-	c, err := client.Dial(addr, timeout)
+	return dialOptions(logger, addr, tenant, client.Options{DialTimeout: timeout})
+}
+
+func dialOptions(logger *log.Logger, addr, tenant string, opts client.Options) *client.Client {
+	c, err := client.DialOptions(addr, opts)
 	if err != nil {
 		logger.Fatalf("dial %s: %v", addr, err)
 	}

@@ -5,6 +5,29 @@
 //
 //	cliffhangerd -addr :11211 -tenants default:64,app2:32 -mode cliffhanger
 //
+// Overload behavior is governed by the connection-lifecycle flags
+// (memcached's -c / idle-timeout surface):
+//
+//	cliffhangerd -addr :11211 -max-conns 4096 -idle-timeout 5m \
+//	    -read-timeout 30s -write-timeout 30s -drain-timeout 10s
+//
+// A connection past -max-conns is answered "SERVER_ERROR too many
+// connections" and closed — the daemon sheds load at the accept edge rather
+// than letting the kernel backlog time clients out invisibly. -idle-timeout
+// reaps connections parked between commands (including half-closed sockets
+// whose FIN never arrived); -read-timeout bounds delivery of a single
+// command once its first byte arrives, so a slow-loris client dribbling a
+// storage payload tears only its own connection; -write-timeout unwedges
+// sessions stuck writing to a peer that stopped reading. The shed/reaped
+// totals are visible in stats as rejected_connections and conn_timeouts,
+// next to curr_connections, total_connections and conn_panics.
+//
+// On SIGTERM or SIGINT the daemon drains instead of dropping: it stops
+// accepting, lets every session finish answering its in-flight pipelined
+// batch, and flushes bookkeeping, forcing stragglers closed only when
+// -drain-timeout expires. Every request accepted before the signal is
+// answered on a clean drain.
+//
 // Pass -pprof-addr to expose the net/http/pprof profiling endpoints on a
 // side HTTP listener, e.g.:
 //
@@ -20,6 +43,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,6 +73,12 @@ func main() {
 		statsIntv = flag.Duration("stats-interval", 0, "interval for logging throughput and hit rates (0 disables)")
 		statsJSON = flag.String("stats-json", "", "append one JSON stats line per -stats-interval tick to this file (empty disables)")
 		pprofAddr = flag.String("pprof-addr", "", "HTTP listen address for net/http/pprof profiling endpoints (empty disables)")
+
+		maxConns     = flag.Int("max-conns", 1024, "max simultaneous connections; extras are shed with SERVER_ERROR (0 = unlimited)")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle between commands for this long (0 disables)")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "max time to deliver one command once its first byte arrives; tears slow-loris clients (0 disables)")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-write deadline toward the client; unwedges stuck-reader peers (0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM/SIGINT before forcing connections closed")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cliffhangerd: ", log.LstdFlags)
@@ -79,11 +109,19 @@ func main() {
 		logger.Printf("tenant %s: %d MiB, mode %s", t.name, t.mb, m)
 	}
 
-	srv := server.New(server.Config{Addr: *addr, DefaultTenant: defaultTenant, Logger: logger}, st)
+	srv := server.New(server.Config{
+		Addr:          *addr,
+		DefaultTenant: defaultTenant,
+		Logger:        logger,
+		MaxConns:      *maxConns,
+		IdleTimeout:   *idleTimeout,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+	}, st)
 	if err := srv.Start(); err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("listening on %s", srv.Addr())
+	logger.Printf("listening on %s (max-conns %d, idle-timeout %v)", srv.Addr(), *maxConns, *idleTimeout)
 
 	if *pprofAddr != "" {
 		go func() {
@@ -107,11 +145,18 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	logger.Printf("shutting down")
-	if err := srv.Close(); err != nil {
-		logger.Printf("close: %v", err)
+	logger.Printf("draining (timeout %v)", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Shutdown answers every in-flight request, then flushes and closes the
+	// store; it reports the ctx error if stragglers had to be forced closed.
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		os.Exit(1)
 	}
-	st.Close()
+	cs := srv.ConnStats()
+	logger.Printf("drained cleanly (served %d connections, rejected %d, timed out %d)",
+		cs.TotalConnections, cs.RejectedConnections, cs.ConnTimeouts)
 }
 
 type tenantSpec struct {

@@ -1,0 +1,335 @@
+// Package chaos is an in-process fault-injecting TCP proxy: it sits between
+// a client and a cliffhangerd (or any TCP server) and misbehaves on purpose.
+// Per forwarded chunk it can add latency and jitter, throttle bandwidth,
+// split writes into tiny partial segments, tear the connection down with an
+// RST mid-payload (after a byte budget or probabilistically), and swallow
+// client FINs so the server sees a half-closed socket that never finishes.
+//
+// The chaos test suite drives the server through it and asserts the
+// robustness contract — no panics, no goroutine leaks, exact arena
+// conservation, and graceful degradation for healthy clients sharing the
+// server with a chaotic cohort. cliffbench -chaos <spec> replays any
+// workload through a proxy configured by ParseSpec, so every fault is also
+// reproducible against a live daemon.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects the faults a Proxy injects. The zero value (plus a Target)
+// is a transparent proxy.
+type Config struct {
+	// Target is the upstream server address the proxy forwards to.
+	Target string
+	// Listen is the proxy's own listen address; empty means an ephemeral
+	// loopback port (see Proxy.Addr).
+	Listen string
+
+	// Latency is added before each forwarded chunk, in both directions.
+	Latency time.Duration
+	// Jitter adds a uniform random [0, Jitter) on top of Latency.
+	Jitter time.Duration
+	// BandwidthBPS throttles each direction to roughly this many bytes per
+	// second. 0 means unlimited.
+	BandwidthBPS int64
+	// ChunkSize forwards data in segments of at most this many bytes, each
+	// its own upstream write — small values model partial writes tearing
+	// commands at arbitrary byte boundaries. 0 forwards reads whole.
+	ChunkSize int
+	// ResetAfterBytes tears the connection down (RST, both sides) once this
+	// many client-to-server bytes have been forwarded: a client dying
+	// mid-storage-payload. 0 disables.
+	ResetAfterBytes int64
+	// ResetProb tears the connection down before a forwarded chunk with
+	// this probability (checked per chunk, both directions). 0 disables.
+	ResetProb float64
+	// HalfClose swallows the client's FIN instead of propagating it: the
+	// server keeps a half-closed socket it must idle-time-out on its own.
+	HalfClose bool
+	// Seed makes the probabilistic faults reproducible; each connection
+	// derives its own RNG from it.
+	Seed int64
+}
+
+// ParseSpec builds a Config from a comma-separated k=v fault spec, e.g.
+//
+//	latency=2ms,jitter=1ms,bw=1048576,chunk=7,reset-after=4096,reset-prob=0.001,half-close,seed=42
+//
+// Unknown keys are errors, so a typoed fault cannot silently run a clean
+// proxy. The Target is supplied by the caller, not the spec.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(part, "=")
+		var err error
+		switch key {
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "jitter":
+			cfg.Jitter, err = time.ParseDuration(val)
+		case "bw":
+			cfg.BandwidthBPS, err = strconv.ParseInt(val, 10, 64)
+		case "chunk":
+			cfg.ChunkSize, err = strconv.Atoi(val)
+		case "reset-after":
+			cfg.ResetAfterBytes, err = strconv.ParseInt(val, 10, 64)
+		case "reset-prob":
+			cfg.ResetProb, err = strconv.ParseFloat(val, 64)
+		case "half-close":
+			if hasVal {
+				return cfg, fmt.Errorf("chaos: half-close takes no value")
+			}
+			cfg.HalfClose = true
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return cfg, fmt.Errorf("chaos: unknown fault %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("chaos: bad %s value %q: %v", key, val, err)
+		}
+	}
+	return cfg, nil
+}
+
+// Proxy is one running fault injector. Create with New, start with Start.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	nextID   atomic.Int64
+	accepted atomic.Int64
+	resets   atomic.Int64
+}
+
+// New creates a proxy for the given fault config.
+func New(cfg Config) *Proxy {
+	return &Proxy{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Start begins listening and forwarding in background goroutines.
+func (p *Proxy) Start() error {
+	listen := p.cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return nil
+}
+
+// Addr returns the proxy's listen address; clients dial this instead of the
+// target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Accepted returns how many client connections the proxy has accepted.
+func (p *Proxy) Accepted() int64 { return p.accepted.Load() }
+
+// Resets returns how many connections the proxy tore down by fault
+// injection (reset-after or reset-prob).
+func (p *Proxy) Resets() int64 { return p.resets.Load() }
+
+// Close stops the listener, closes every proxied connection, and waits for
+// the pumps to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	var err error
+	if p.ln != nil {
+		err = p.ln.Close()
+	}
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// register tracks a connection for Close; it reports false when the proxy
+// is already shut down and the caller should close the conn itself.
+func (p *Proxy) register(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) unregister(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !p.register(conn) {
+			conn.Close()
+			return
+		}
+		p.accepted.Add(1)
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	defer p.unregister(client)
+	upstream, err := net.DialTimeout("tcp", p.cfg.Target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	if !p.register(upstream) {
+		upstream.Close()
+		return
+	}
+	defer p.unregister(upstream)
+
+	id := p.nextID.Add(1)
+	lk := &link{proxy: p, client: client, upstream: upstream}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		lk.pump(client, upstream, true, rand.New(rand.NewSource(p.cfg.Seed+2*id)))
+	}()
+	lk.pump(upstream, client, false, rand.New(rand.NewSource(p.cfg.Seed+2*id+1)))
+}
+
+// link is one proxied connection pair; the two pumps share its teardown
+// latch and the client-to-server byte count the reset-after fault watches.
+type link struct {
+	proxy            *Proxy
+	client, upstream net.Conn
+	c2sBytes         atomic.Int64
+	torn             atomic.Bool
+}
+
+// teardown abruptly kills both sides of the link exactly once, RST-style
+// (linger 0), modelling a mid-flight connection loss rather than a polite
+// close.
+func (l *link) teardown() {
+	if !l.torn.CompareAndSwap(false, true) {
+		return
+	}
+	l.proxy.resets.Add(1)
+	for _, c := range []net.Conn{l.client, l.upstream} {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		c.Close()
+	}
+}
+
+// pump copies one direction of the link, applying the configured faults to
+// each forwarded chunk.
+func (l *link) pump(src, dst net.Conn, clientToServer bool, rng *rand.Rand) {
+	cfg := l.proxy.cfg
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if !l.forward(dst, buf[:n], clientToServer, rng) {
+				return
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				if clientToServer && cfg.HalfClose {
+					// Swallow the FIN: the server side stays half-open and
+					// must be collected by its own idle timeout.
+					return
+				}
+				// Propagate the half-close politely so request/response
+				// streams finish draining.
+				if tc, ok := dst.(*net.TCPConn); ok {
+					tc.CloseWrite()
+					return
+				}
+			}
+			dst.Close()
+			return
+		}
+	}
+}
+
+// forward delivers b to dst under the fault config, reporting false when
+// the link was torn down.
+func (l *link) forward(dst net.Conn, b []byte, clientToServer bool, rng *rand.Rand) bool {
+	cfg := l.proxy.cfg
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		chunk = len(b)
+	}
+	for len(b) > 0 {
+		n := min(chunk, len(b))
+		if cfg.Latency > 0 || cfg.Jitter > 0 {
+			d := cfg.Latency
+			if cfg.Jitter > 0 {
+				d += time.Duration(rng.Int63n(int64(cfg.Jitter)))
+			}
+			time.Sleep(d)
+		}
+		if cfg.ResetProb > 0 && rng.Float64() < cfg.ResetProb {
+			l.teardown()
+			return false
+		}
+		if clientToServer && cfg.ResetAfterBytes > 0 {
+			sent := l.c2sBytes.Load()
+			if sent+int64(n) > cfg.ResetAfterBytes {
+				// Forward up to the budget so the payload tears mid-block,
+				// then kill the link: the nastiest shape — the server has
+				// read a partial data block that will never complete.
+				if keep := cfg.ResetAfterBytes - sent; keep > 0 {
+					dst.Write(b[:keep])
+				}
+				l.teardown()
+				return false
+			}
+		}
+		if _, err := dst.Write(b[:n]); err != nil {
+			return false
+		}
+		if clientToServer {
+			l.c2sBytes.Add(int64(n))
+		}
+		if cfg.BandwidthBPS > 0 {
+			time.Sleep(time.Duration(float64(n) / float64(cfg.BandwidthBPS) * float64(time.Second)))
+		}
+		b = b[n:]
+	}
+	return true
+}

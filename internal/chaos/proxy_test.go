@@ -1,0 +1,228 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startEcho runs a TCP echo server and returns its address plus a stopper.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(conn, conn)
+				conn.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func startProxy(t *testing.T, cfg Config) *Proxy {
+	t.Helper()
+	p := New(cfg)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("latency=2ms,jitter=1ms,bw=1048576,chunk=7,reset-after=4096,reset-prob=0.25,half-close,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Latency:         2 * time.Millisecond,
+		Jitter:          time.Millisecond,
+		BandwidthBPS:    1 << 20,
+		ChunkSize:       7,
+		ResetAfterBytes: 4096,
+		ResetProb:       0.25,
+		HalfClose:       true,
+		Seed:            42,
+	}
+	if cfg != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	if _, err := ParseSpec("lateny=2ms"); err == nil {
+		t.Fatal("typoed fault key should be an error")
+	}
+	if _, err := ParseSpec("chunk=seven"); err == nil {
+		t.Fatal("bad value should be an error")
+	}
+	if _, err := ParseSpec("half-close=yes"); err == nil {
+		t.Fatal("half-close with a value should be an error")
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec should be a clean zero config, got %+v, %v", cfg, err)
+	}
+}
+
+func TestProxyTransparent(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, Config{Target: echo})
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := "hello through the proxy\r\n"
+	if _, err := io.WriteString(conn, msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != msg {
+		t.Fatalf("echoed %q, want %q", buf, msg)
+	}
+	if p.Accepted() != 1 {
+		t.Fatalf("Accepted = %d, want 1", p.Accepted())
+	}
+	if p.Resets() != 0 {
+		t.Fatalf("Resets = %d, want 0", p.Resets())
+	}
+}
+
+// TestProxyChunkedPartialWrites proves data arrives intact even when the
+// proxy shreds every read into single-byte upstream writes.
+func TestProxyChunkedPartialWrites(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, Config{Target: echo, ChunkSize: 1})
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := strings.Repeat("chunk", 20)
+	if _, err := io.WriteString(conn, msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != msg {
+		t.Fatalf("chunked forwarding corrupted data: %q", buf)
+	}
+}
+
+// TestProxyResetAfterBytes proves the byte-budget fault forwards exactly the
+// budget and then tears the link mid-payload.
+func TestProxyResetAfterBytes(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, Config{Target: echo, ResetAfterBytes: 10})
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, strings.Repeat("x", 64)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := io.Copy(io.Discard, conn)
+	if err == nil && n > 10 {
+		t.Fatalf("read %d bytes cleanly, want a torn link after 10", n)
+	}
+	if n > 10 {
+		t.Fatalf("forwarded %d bytes, want at most the 10-byte budget", n)
+	}
+	waitFor(t, func() bool { return p.Resets() == 1 }, "reset counter")
+}
+
+// TestProxyHalfCloseSwallowsFIN: with HalfClose the server side must NOT see
+// EOF when the client closes its write half.
+func TestProxyHalfCloseSwallowsFIN(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	sawEOF := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			sawEOF <- err
+			return
+		}
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		_, err = conn.Read(make([]byte, 1))
+		sawEOF <- err
+	}()
+
+	p := startProxy(t, Config{Target: ln.Addr().String(), HalfClose: true})
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	defer conn.Close()
+
+	err = <-sawEOF
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("server read = %v, want a deadline timeout (FIN swallowed), not EOF", err)
+	}
+}
+
+// TestProxyCloseSeversConns: Close must kill live proxied connections, not
+// just stop the listener.
+func TestProxyCloseSeversConns(t *testing.T) {
+	echo := startEcho(t)
+	p := New(Config{Target: echo})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Prove the link is live before closing.
+	if _, err := io.WriteString(conn, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("proxied conn still alive after proxy Close")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

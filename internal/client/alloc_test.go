@@ -66,3 +66,60 @@ func TestAllocGateClientStreamingGet(t *testing.T) {
 		t.Fatal("callback never saw a value")
 	}
 }
+
+// TestAllocGateGovernedStreamingGet re-runs the end-to-end streaming gate
+// with the connection governor fully armed (MaxConns, idle, read and write
+// deadlines). AllocsPerRun counts mallocs process-wide, so the server's
+// session goroutine is inside the measurement: arming a deadline per read
+// and write must add zero allocations, or overload armor would cost the
+// hot path its allocation-free guarantee.
+func TestAllocGateGovernedStreamingGet(t *testing.T) {
+	st := store.New(store.Config{
+		DefaultMode:     store.AllocCliffhanger,
+		DefaultPolicy:   cache.PolicyLRU,
+		SyncBookkeeping: true,
+	})
+	t.Cleanup(func() { st.Close() })
+	if err := st.RegisterTenant("default", 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		DefaultTenant: "default",
+		MaxConns:      64,
+		IdleTimeout:   time.Minute,
+		ReadTimeout:   time.Minute,
+		WriteTimeout:  time.Minute,
+	}, st)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := client.Dial(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const depth = 64
+	keys := make([]string, depth)
+	for i := range keys {
+		keys[i] = "gov-key-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	if err := c.PipelineSet(keys, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+
+	onValue := func(i int, key []byte, flags uint32, cas uint64, value []byte) {}
+	run := func() {
+		if err := c.PipelineGetFunc(keys, onValue); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the client buffers
+	allocs := testing.AllocsPerRun(200, run)
+	if perOp := allocs / depth; perOp > 1 {
+		t.Errorf("governed streaming GET allocates %.2f objects/op (%.1f per depth-%d batch), want <= 1 amortized — the governor must not allocate on the hot path",
+			perOp, allocs, depth)
+	}
+}

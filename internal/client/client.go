@@ -14,12 +14,26 @@
 // per-value garbage, pinned by the client alloc gate — and the convenience
 // forms (Get, Gets, GetMulti, PipelineGet) are built on top of them, paying
 // only for the caller-owned copies they return.
+//
+// Failure handling is explicit. Every transport or desync failure poisons
+// the connection: a poisoned connection is never reused (a half-read
+// pipeline would misattribute responses to the wrong commands), so the next
+// operation transparently redials and replays the tenant selection.
+// Idempotent read verbs (get/gets, touch, stats, version, tenant) are
+// additionally retried across reconnects with jittered exponential backoff
+// up to Options.MaxRetries; storage verbs are never retried — a SET or INCR
+// whose fate is unknown must surface its error rather than risk applying
+// twice. Retried operations return *OpError carrying the retryable-vs-fatal
+// classification (see IsRetryable); in-band server errors still unwrap to
+// protocol.ErrRemote.
 package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
@@ -28,11 +42,93 @@ import (
 	"cliffhanger/internal/protocol"
 )
 
+// Options tunes a Client's transport behavior. The zero value dials without
+// a timeout, applies no per-operation deadline, and never retries — the
+// behavior Dial has always had.
+type Options struct {
+	// DialTimeout bounds each connect (and reconnect). 0 means none.
+	DialTimeout time.Duration
+	// OpTimeout is the per-operation deadline: each call must finish its
+	// full round trip (a pipelined batch counts as one operation) within
+	// it. 0 means none.
+	OpTimeout time.Duration
+	// MaxRetries is how many times an idempotent operation is retried
+	// across reconnects after a retryable failure. 0 disables retries.
+	MaxRetries int
+	// RetryBackoff is the base of the jittered exponential backoff between
+	// retries (base<<attempt plus up to 100% jitter, capped at 64x base).
+	// Defaults to 5ms when retries are enabled.
+	RetryBackoff time.Duration
+}
+
+// OpError is a client operation failure with its retryability class:
+// Retryable failures are transport-level (connection reset, timeout, server
+// gone) and may heal on a reconnect; fatal ones are protocol-level (in-band
+// server errors, desyncs) and will not. It unwraps to the underlying error,
+// so errors.Is(err, protocol.ErrRemote) etc. keep working.
+type OpError struct {
+	Op        string
+	Retryable bool
+	Err       error
+}
+
+func (e *OpError) Error() string {
+	kind := "fatal"
+	if e.Retryable {
+		kind = "retryable"
+	}
+	return fmt.Sprintf("client: %s: %v (%s)", e.Op, e.Err, kind)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// IsRetryable reports whether err is a transient transport failure that a
+// reconnect may heal: dial failures, resets, timeouts, closed connections,
+// EOFs. In-band server errors (protocol.ErrRemote) and protocol desyncs are
+// fatal — retrying them would repeat the same outcome or worse.
+func IsRetryable(err error) bool {
+	if err == nil || errors.Is(err, protocol.ErrRemote) {
+		return false
+	}
+	var oe *OpError
+	if errors.As(err, &oe) {
+		return oe.Retryable
+	}
+	var perm *permanentError
+	if errors.As(err, &perm) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// permanentError pins a transport failure as non-retryable: a streaming get
+// that already delivered values to its callback must not be replayed, even
+// though the underlying error looks transient.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
 // Client is one connection to a cliffhanger server.
 type Client struct {
+	addr string
+	opts Options
+
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// broken marks the connection poisoned: a transport error or response
+	// desync happened mid-stream, so reusing it would misattribute
+	// responses. The next operation redials instead.
+	broken bool
+	// tenant is replayed after every reconnect so retried operations land
+	// on the tenant the caller selected.
+	tenant string
+
 	// scratch assembles outgoing command lines (reused across calls).
 	scratch []byte
 	// keybuf holds the key of the VALUE block being read: the parsed key
@@ -48,33 +144,176 @@ type Client struct {
 // memory for the rest of a long-lived connection.
 const maxRetainedValue = 64 << 10
 
-// Dial connects to addr with the given timeout (0 means no timeout).
+// Dial connects to addr with the given dial timeout (0 means no timeout)
+// and no retries or per-op deadlines.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialOptions(addr, Options{DialTimeout: timeout})
+}
+
+// DialOptions connects to addr with the full transport options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	if opts.MaxRetries > 0 && opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 5 * time.Millisecond
+	}
+	c := &Client{addr: addr, opts: opts}
+	if err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	c.broken = false
+	return err
+}
+
+// poison marks the connection unusable; the next operation reconnects.
+func (c *Client) poison() { c.broken = true }
+
+// ensureConn (re)establishes the transport on first use or after a poison.
+// A reconnect replays the selected tenant before the caller's command goes
+// out — redialing happens strictly between operations, so it is safe for
+// every verb, including storage.
+func (c *Client) ensureConn() error {
+	if c.conn != nil && !c.broken {
+		return nil
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
 	var (
 		conn net.Conn
 		err  error
 	)
-	if timeout > 0 {
-		conn, err = net.DialTimeout("tcp", addr, timeout)
+	if c.opts.DialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	} else {
-		conn, err = net.Dial("tcp", addr)
+		conn, err = net.Dial("tcp", c.addr)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 64<<10),
-		w:    bufio.NewWriterSize(conn, 64<<10),
-	}, nil
+	if c.r == nil {
+		c.r = bufio.NewReaderSize(conn, 64<<10)
+		c.w = bufio.NewWriterSize(conn, 64<<10)
+	} else {
+		c.r.Reset(conn)
+		c.w.Reset(conn)
+	}
+	c.conn = conn
+	c.broken = false
+	if c.tenant != "" {
+		if err := c.selectTenantRaw(c.tenant); err != nil {
+			c.poison()
+			return fmt.Errorf("client: reselect tenant %q: %w", c.tenant, err)
+		}
+	}
+	return nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// begin readies the transport for one operation: reconnect if poisoned and
+// arm the per-op deadline.
+func (c *Client) begin() error {
+	if err := c.ensureConn(); err != nil {
+		return err
+	}
+	if c.opts.OpTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+	}
+	return nil
+}
 
-// SelectTenant switches the connection to the given tenant.
+// retry runs fn as one attempt of the named idempotent operation,
+// reconnecting and retrying on retryable failures with jittered exponential
+// backoff. Failures come back as *OpError. Storage verbs never go through
+// retry — an ambiguous write must surface, not silently double-apply.
+func (c *Client) retry(op string, fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := c.begin()
+		if err == nil {
+			err = fn()
+		}
+		if err == nil {
+			return nil
+		}
+		retryable := IsRetryable(err)
+		if retryable {
+			// The round trip died partway; never reuse the stream.
+			c.poison()
+		}
+		if !retryable || attempt >= c.opts.MaxRetries {
+			return &OpError{Op: op, Retryable: retryable, Err: err}
+		}
+		c.backoff(attempt)
+	}
+}
+
+// backoff sleeps base<<attempt (capped at 64x) plus up to 100% jitter, so a
+// thundering herd of retriers does not re-synchronize on the server.
+func (c *Client) backoff(attempt int) {
+	d := c.opts.RetryBackoff << min(attempt, 6)
+	d += time.Duration(rand.Int63n(int64(d) + 1))
+	time.Sleep(d)
+}
+
+// flush pushes buffered command bytes out, poisoning the connection on
+// failure (some commands may have reached the server, some not — the stream
+// state is unknowable).
+func (c *Client) flush() error {
+	if err := c.w.Flush(); err != nil {
+		c.poison()
+		return err
+	}
+	return nil
+}
+
+func (c *Client) send(p []byte) error {
+	if _, err := c.w.Write(p); err != nil {
+		c.poison()
+		return err
+	}
+	return nil
+}
+
+func (c *Client) sendString(s string) error {
+	if _, err := c.w.WriteString(s); err != nil {
+		c.poison()
+		return err
+	}
+	return nil
+}
+
+// SelectTenant switches the connection to the given tenant. The selection
+// sticks across reconnects: a retried or redialed operation replays it
+// before any command.
 func (c *Client) SelectTenant(name string) error {
-	if err := c.writeLine("tenant " + name); err != nil {
+	err := c.retry("tenant "+name, func() error {
+		return c.selectTenantRaw(name)
+	})
+	if err != nil {
+		return err
+	}
+	c.tenant = name
+	return nil
+}
+
+// selectTenantRaw runs the tenant round trip on the current connection
+// without touching c.tenant (ensureConn uses it to replay the selection).
+func (c *Client) selectTenantRaw(name string) error {
+	if err := c.sendString("tenant " + name); err != nil {
+		return err
+	}
+	if err := c.sendString("\r\n"); err != nil {
+		return err
+	}
+	if err := c.flush(); err != nil {
 		return err
 	}
 	line, err := c.readLine()
@@ -82,6 +321,7 @@ func (c *Client) SelectTenant(name string) error {
 		return err
 	}
 	if line != "TENANT" {
+		c.poison()
 		return fmt.Errorf("client: unexpected tenant response %q", line)
 	}
 	return nil
@@ -183,19 +423,24 @@ func appendStorageHeader(dst []byte, verb, key string, flags uint32, exptime int
 }
 
 // storage runs one storage verb round trip and reports the positive/negative
-// outcome plus the raw response line.
+// outcome plus the raw response line. Storage verbs reconnect if the
+// previous operation poisoned the connection, but are never retried after
+// their own bytes went out: a failed SET's fate is ambiguous.
 func (c *Client) storage(verb, key string, value []byte, flags uint32, exptime int64, cas uint64, withCAS bool) (bool, string, error) {
+	if err := c.begin(); err != nil {
+		return false, "", err
+	}
 	c.scratch = appendStorageHeader(c.scratch[:0], verb, key, flags, exptime, len(value), cas, withCAS)
-	if _, err := c.w.Write(c.scratch); err != nil {
+	if err := c.send(c.scratch); err != nil {
 		return false, "", err
 	}
-	if _, err := c.w.Write(value); err != nil {
+	if err := c.send(value); err != nil {
 		return false, "", err
 	}
-	if _, err := c.w.WriteString("\r\n"); err != nil {
+	if err := c.sendString("\r\n"); err != nil {
 		return false, "", err
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return false, "", err
 	}
 	line, err := c.readLine()
@@ -207,24 +452,29 @@ func (c *Client) storage(verb, key string, value []byte, flags uint32, exptime i
 }
 
 // Touch updates key's expiry without fetching the value, reporting whether
-// the key existed.
+// the key existed. Touch is idempotent and retried across reconnects.
 func (c *Client) Touch(key string, exptime int64) (bool, error) {
-	c.scratch = append(c.scratch[:0], "touch "...)
-	c.scratch = append(c.scratch, key...)
-	c.scratch = append(c.scratch, ' ')
-	c.scratch = strconv.AppendInt(c.scratch, exptime, 10)
-	c.scratch = append(c.scratch, '\r', '\n')
-	if _, err := c.w.Write(c.scratch); err != nil {
-		return false, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return false, err
-	}
-	line, err := c.readLine()
-	if err != nil {
-		return false, err
-	}
-	return protocol.ParseResponseLine(line)
+	var found bool
+	err := c.retry("touch "+key, func() error {
+		c.scratch = append(c.scratch[:0], "touch "...)
+		c.scratch = append(c.scratch, key...)
+		c.scratch = append(c.scratch, ' ')
+		c.scratch = strconv.AppendInt(c.scratch, exptime, 10)
+		c.scratch = append(c.scratch, '\r', '\n')
+		if err := c.send(c.scratch); err != nil {
+			return err
+		}
+		if err := c.flush(); err != nil {
+			return err
+		}
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		found, err = protocol.ParseResponseLine(line)
+		return err
+	})
+	return found, err
 }
 
 // Incr adds delta to the decimal counter stored under key, returning the new
@@ -238,17 +488,22 @@ func (c *Client) Decr(key string, delta uint64) (uint64, bool, error) {
 	return c.incrDecr("decr", key, delta)
 }
 
+// incrDecr is a mutation, so like the storage verbs it reconnects before
+// sending but never retries after.
 func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, bool, error) {
+	if err := c.begin(); err != nil {
+		return 0, false, err
+	}
 	c.scratch = append(c.scratch[:0], verb...)
 	c.scratch = append(c.scratch, ' ')
 	c.scratch = append(c.scratch, key...)
 	c.scratch = append(c.scratch, ' ')
 	c.scratch = strconv.AppendUint(c.scratch, delta, 10)
 	c.scratch = append(c.scratch, '\r', '\n')
-	if _, err := c.w.Write(c.scratch); err != nil {
+	if err := c.send(c.scratch); err != nil {
 		return 0, false, err
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return 0, false, err
 	}
 	line, err := c.readLine()
@@ -263,6 +518,7 @@ func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, bool, error) 
 		if _, err := protocol.ParseResponseLine(line); err != nil {
 			return 0, false, err
 		}
+		c.poison()
 		return 0, false, fmt.Errorf("client: unexpected %s response %q", verb, line)
 	}
 	return val, true, nil
@@ -280,11 +536,27 @@ type IndexedValueFunc func(i int, key []byte, flags uint32, cas uint64, value []
 // GetMultiFunc issues one multi-key get (or gets, when withCAS is set) and
 // streams each returned VALUE block to fn without per-value garbage: keys
 // and payloads are read into client-owned buffers reused across calls.
-// Missing keys simply produce no callback.
+// Missing keys simply produce no callback. The batch is retried across
+// reconnects only while no value has been delivered yet — once fn has seen
+// data, a mid-stream failure is surfaced rather than replayed.
 func (c *Client) GetMultiFunc(keys []string, withCAS bool, fn ValueFunc) error {
 	if len(keys) == 0 {
 		return nil
 	}
+	delivered := false
+	return c.retry("get multi", func() error {
+		err := c.getMultiOnce(keys, withCAS, func(key []byte, flags uint32, cas uint64, value []byte) {
+			delivered = true
+			fn(key, flags, cas, value)
+		})
+		if err != nil && delivered && IsRetryable(err) {
+			return &permanentError{err}
+		}
+		return err
+	})
+}
+
+func (c *Client) getMultiOnce(keys []string, withCAS bool, fn ValueFunc) error {
 	c.shedStreamBuffers()
 	verb := "get"
 	if withCAS {
@@ -296,10 +568,10 @@ func (c *Client) GetMultiFunc(keys []string, withCAS bool, fn ValueFunc) error {
 		c.scratch = append(c.scratch, key...)
 	}
 	c.scratch = append(c.scratch, '\r', '\n')
-	if _, err := c.w.Write(c.scratch); err != nil {
+	if err := c.send(c.scratch); err != nil {
 		return err
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return err
 	}
 	return c.streamValues(fn)
@@ -313,18 +585,33 @@ func (c *Client) GetMultiFunc(keys []string, withCAS bool, fn ValueFunc) error {
 // allocation-free counterpart of PipelineGet: no map or data slices are
 // built, so a deep pipelined GET drives the server's zero-allocation path
 // end to end; the client alloc gate pins the round trip at <= 1 amortized
-// allocation per operation.
+// allocation per operation. Like GetMultiFunc, the batch is retried across
+// reconnects only while fn has not yet seen data.
 func (c *Client) PipelineGetFunc(keys []string, fn IndexedValueFunc) error {
+	delivered := false
+	return c.retry("pipeline get", func() error {
+		err := c.pipelineGetOnce(keys, func(i int, key []byte, flags uint32, cas uint64, value []byte) {
+			delivered = true
+			fn(i, key, flags, cas, value)
+		})
+		if err != nil && delivered && IsRetryable(err) {
+			return &permanentError{err}
+		}
+		return err
+	})
+}
+
+func (c *Client) pipelineGetOnce(keys []string, fn IndexedValueFunc) error {
 	c.shedStreamBuffers()
 	for _, key := range keys {
 		c.scratch = append(c.scratch[:0], "get "...)
 		c.scratch = append(c.scratch, key...)
 		c.scratch = append(c.scratch, '\r', '\n')
-		if _, err := c.w.Write(c.scratch); err != nil {
+		if err := c.send(c.scratch); err != nil {
 			return err
 		}
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return err
 	}
 	for i := range keys {
@@ -345,11 +632,7 @@ func (c *Client) PipelineGetFunc(keys []string, fn IndexedValueFunc) error {
 // Gets fetches key along with its flags and CAS token. The returned data is
 // freshly allocated and owned by the caller.
 func (c *Client) Gets(key string) (data []byte, flags uint32, cas uint64, ok bool, err error) {
-	c.shedStreamBuffers()
-	if err := c.writeGet("gets", key); err != nil {
-		return nil, 0, 0, false, err
-	}
-	err = c.streamValues(func(k []byte, f uint32, cs uint64, v []byte) {
+	err = c.GetMultiFunc([]string{key}, true, func(k []byte, f uint32, cs uint64, v []byte) {
 		if string(k) == key {
 			data = append([]byte(nil), v...)
 			flags, cas, ok = f, cs, true
@@ -364,15 +647,11 @@ func (c *Client) Gets(key string) (data []byte, flags uint32, cas uint64, ok boo
 // Get fetches key, reporting whether it was present. The returned data is
 // freshly allocated and owned by the caller.
 func (c *Client) Get(key string) ([]byte, bool, error) {
-	c.shedStreamBuffers()
-	if err := c.writeGet("get", key); err != nil {
-		return nil, false, err
-	}
 	var (
 		data  []byte
 		found bool
 	)
-	err := c.streamValues(func(k []byte, _ uint32, _ uint64, v []byte) {
+	err := c.GetMultiFunc([]string{key}, false, func(k []byte, _ uint32, _ uint64, v []byte) {
 		if string(k) == key {
 			data = append([]byte(nil), v...)
 			found = true
@@ -407,19 +686,22 @@ func (c *Client) PipelineSet(keys []string, value []byte) error {
 
 // PipelineSetOptions is PipelineSet with explicit flags and exptime.
 func (c *Client) PipelineSetOptions(keys []string, value []byte, flags uint32, exptime int64) error {
+	if err := c.begin(); err != nil {
+		return err
+	}
 	for _, key := range keys {
 		c.scratch = appendStorageHeader(c.scratch[:0], "set", key, flags, exptime, len(value), 0, false)
-		if _, err := c.w.Write(c.scratch); err != nil {
+		if err := c.send(c.scratch); err != nil {
 			return err
 		}
-		if _, err := c.w.Write(value); err != nil {
+		if err := c.send(value); err != nil {
 			return err
 		}
-		if _, err := c.w.WriteString("\r\n"); err != nil {
+		if err := c.sendString("\r\n"); err != nil {
 			return err
 		}
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return err
 	}
 	for _, key := range keys {
@@ -454,15 +736,20 @@ func (c *Client) PipelineGet(keys []string) (map[string][]byte, error) {
 	return out, nil
 }
 
-// Delete removes key, reporting whether it existed.
+// Delete removes key, reporting whether it existed. Like the storage verbs
+// it is not retried: a retried delete racing a concurrent re-set could
+// remove a value the first attempt never saw.
 func (c *Client) Delete(key string) (bool, error) {
+	if err := c.begin(); err != nil {
+		return false, err
+	}
 	c.scratch = append(c.scratch[:0], "delete "...)
 	c.scratch = append(c.scratch, key...)
 	c.scratch = append(c.scratch, '\r', '\n')
-	if _, err := c.w.Write(c.scratch); err != nil {
+	if err := c.send(c.scratch); err != nil {
 		return false, err
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return false, err
 	}
 	line, err := c.readLine()
@@ -474,6 +761,9 @@ func (c *Client) Delete(key string) (bool, error) {
 
 // FlushAll clears the selected tenant.
 func (c *Client) FlushAll() error {
+	if err := c.begin(); err != nil {
+		return err
+	}
 	if err := c.writeLine("flush_all"); err != nil {
 		return err
 	}
@@ -506,8 +796,12 @@ func (c *Client) TenantDelete(name string) error {
 	return c.adminVerb("tenant_delete " + name)
 }
 
-// adminVerb sends one admin command line and expects an OK reply.
+// adminVerb sends one admin command line and expects an OK reply. Admin
+// verbs mutate the tenant registry, so they are not retried.
 func (c *Client) adminVerb(line string) error {
+	if err := c.begin(); err != nil {
+		return err
+	}
 	if err := c.writeLine(line); err != nil {
 		return err
 	}
@@ -535,59 +829,63 @@ func (c *Client) StatsSlabs() (map[string]string, error) {
 }
 
 func (c *Client) statsCmd(cmd string) (map[string]string, error) {
-	if err := c.writeLine(cmd); err != nil {
+	var stats map[string]string
+	err := c.retry(cmd, func() error {
+		if err := c.writeLine(cmd); err != nil {
+			return err
+		}
+		stats = make(map[string]string)
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			if line == "END" {
+				return nil
+			}
+			fields := strings.SplitN(line, " ", 3)
+			if len(fields) == 3 && fields[0] == "STAT" {
+				stats[fields[1]] = fields[2]
+			} else {
+				c.poison()
+				return fmt.Errorf("client: unexpected stats line %q", line)
+			}
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	stats := make(map[string]string)
-	for {
-		line, err := c.readLine()
-		if err != nil {
-			return nil, err
-		}
-		if line == "END" {
-			return stats, nil
-		}
-		fields := strings.SplitN(line, " ", 3)
-		if len(fields) == 3 && fields[0] == "STAT" {
-			stats[fields[1]] = fields[2]
-		} else {
-			return nil, fmt.Errorf("client: unexpected stats line %q", line)
-		}
-	}
+	return stats, nil
 }
 
 // Version returns the server version string.
 func (c *Client) Version() (string, error) {
-	if err := c.writeLine("version"); err != nil {
-		return "", err
-	}
-	line, err := c.readLine()
+	var version string
+	err := c.retry("version", func() error {
+		if err := c.writeLine("version"); err != nil {
+			return err
+		}
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		version = strings.TrimPrefix(line, "VERSION ")
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
-	return strings.TrimPrefix(line, "VERSION "), nil
-}
-
-// writeGet writes "<verb> <key>\r\n" and flushes.
-func (c *Client) writeGet(verb, key string) error {
-	c.scratch = append(c.scratch[:0], verb...)
-	c.scratch = append(c.scratch, ' ')
-	c.scratch = append(c.scratch, key...)
-	c.scratch = append(c.scratch, '\r', '\n')
-	if _, err := c.w.Write(c.scratch); err != nil {
-		return err
-	}
-	return c.w.Flush()
+	return version, nil
 }
 
 func (c *Client) writeLine(line string) error {
-	if _, err := c.w.WriteString(line); err != nil {
+	if err := c.sendString(line); err != nil {
 		return err
 	}
-	if _, err := c.w.WriteString("\r\n"); err != nil {
+	if err := c.sendString("\r\n"); err != nil {
 		return err
 	}
-	return c.w.Flush()
+	return c.flush()
 }
 
 func (c *Client) readLine() (string, error) {
@@ -599,10 +897,12 @@ func (c *Client) readLine() (string, error) {
 }
 
 // readLineBytes returns the next response line without its terminator as a
-// slice into the read buffer, valid until the next read.
+// slice into the read buffer, valid until the next read. Any failure
+// poisons the connection: the stream position is unknown.
 func (c *Client) readLineBytes() ([]byte, error) {
 	line, err := c.r.ReadSlice('\n')
 	if err != nil {
+		c.poison()
 		if err == bufio.ErrBufferFull {
 			return nil, fmt.Errorf("client: response line too long")
 		}
@@ -637,6 +937,10 @@ func (c *Client) nextStreamValue() (key []byte, flags uint32, cas uint64, value 
 	}
 	k, flags, size, cas, _, err := protocol.ParseValueLine(line)
 	if err != nil {
+		// An unparseable VALUE header means the stream is desynced (or the
+		// server reported an in-band error mid-stream); either way the
+		// remaining bytes cannot be attributed to commands.
+		c.poison()
 		return nil, 0, 0, nil, false, err
 	}
 	// The key aliases the read buffer, which the payload read overwrites.
@@ -646,9 +950,11 @@ func (c *Client) nextStreamValue() (key []byte, flags uint32, cas uint64, value 
 	}
 	value = c.valbuf[:size]
 	if _, err := io.ReadFull(c.r, value); err != nil {
+		c.poison()
 		return nil, 0, 0, nil, false, err
 	}
 	if _, err := c.r.Discard(2); err != nil { // trailing CRLF
+		c.poison()
 		return nil, 0, 0, nil, false, err
 	}
 	return c.keybuf, flags, cas, value, false, nil

@@ -49,6 +49,21 @@ var fuzzCorpus = []string{
 	"GET UPPER\r\n",
 	"\r\n",
 	"warble\r\n",
+	// Chaos-proxy replay shapes: a storage command torn at every kind of
+	// byte boundary (mid-verb, mid-header, at the header/payload seam,
+	// mid-payload, mid-terminator). The chaos suite replays these tears over
+	// live connections; the seeds keep the parser-level fuzzer exploring the
+	// same truncation space.
+	"se",
+	"set tornkey 0",
+	"set tornkey 0 0 5",
+	"set tornkey 0 0 5\r",
+	"set tornkey 0 0 5\r\n",
+	"set tornkey 0 0 5\r\nhe",
+	"set tornkey 0 0 5\r\nhello",
+	"set tornkey 0 0 5\r\nhello\r",
+	"get tornk",
+	"cas k 0 0 3 4",
 }
 
 // FuzzParser feeds arbitrary byte streams to the zero-copy parser and checks

@@ -26,13 +26,17 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cliffhanger/internal/metrics"
 	"cliffhanger/internal/protocol"
@@ -49,6 +53,29 @@ type Config struct {
 	DefaultTenant string
 	// Logger receives error messages; nil discards them.
 	Logger *log.Logger
+
+	// MaxConns caps simultaneously served connections (memcached's -c). An
+	// accept past the cap is answered "SERVER_ERROR too many connections"
+	// and closed, counted in rejected_connections; the listener keeps
+	// accepting, so the governor sheds load instead of letting the backlog
+	// time clients out invisibly. 0 means unlimited.
+	MaxConns int
+	// IdleTimeout bounds how long a connection may sit between commands
+	// waiting for the first byte of the next one. An expired wait closes
+	// the connection and counts in conn_timeouts, freeing the session's
+	// goroutine and buffers. 0 disables the idle check.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds delivery of a single command once its first byte
+	// has arrived: the rest of the line and any storage data block must
+	// land within it. This is the slow-loris guard — a client dribbling a
+	// storage payload one byte at a time tears only its own connection.
+	// 0 disables the per-command bound (IdleTimeout, if set, still applies
+	// to the read that starts the command).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each write toward the client, so a stuck reader
+	// (zero-window peer) cannot pin a session goroutine and its buffered
+	// responses forever. 0 disables it.
+	WriteTimeout time.Duration
 }
 
 // Server serves the memcached-style protocol over TCP.
@@ -62,10 +89,57 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
+	// closing marks an intentional listener teardown (Close/Shutdown), so
+	// the accept loop classifies its error as a clean exit. draining is the
+	// graceful-shutdown signal: sessions finish the in-flight pipelined
+	// batch, flush, and exit at the next batch boundary.
+	closing  atomic.Bool
+	draining atomic.Bool
+
+	// Connection-governor counters (memcached-parity stats).
+	curr     atomic.Int64
+	total    atomic.Int64
+	rejected atomic.Int64
+	timeouts atomic.Int64
+	panics   atomic.Int64
+
+	// testHookCommand, when set by a test, runs after dispatch accounting
+	// for every command. It exists so the per-connection panic recovery can
+	// be exercised without planting a bug in a real handler.
+	testHookCommand func(*protocol.Command)
+
 	// Latency and throughput instrumentation (Tables 6 and 7).
 	GetLatency *metrics.LatencyHistogram
 	SetLatency *metrics.LatencyHistogram
 	Ops        *metrics.Throughput
+}
+
+// ConnStats is a snapshot of the connection governor's counters, served by
+// the stats verb with memcached's field names.
+type ConnStats struct {
+	// CurrConnections is the number of connections being served right now.
+	CurrConnections int64
+	// TotalConnections counts every connection ever admitted.
+	TotalConnections int64
+	// RejectedConnections counts accepts refused at the MaxConns cap.
+	RejectedConnections int64
+	// ConnTimeouts counts connections closed by the idle or per-command
+	// read deadline.
+	ConnTimeouts int64
+	// ConnPanics counts sessions torn down by the per-connection panic
+	// recovery (each one would previously have killed the daemon).
+	ConnPanics int64
+}
+
+// ConnStats returns the governor's counter snapshot.
+func (s *Server) ConnStats() ConnStats {
+	return ConnStats{
+		CurrConnections:     s.curr.Load(),
+		TotalConnections:    s.total.Load(),
+		RejectedConnections: s.rejected.Load(),
+		ConnTimeouts:        s.timeouts.Load(),
+		ConnPanics:          s.panics.Load(),
+	}
 }
 
 // New creates a server for the given store.
@@ -107,9 +181,17 @@ func (s *Server) Addr() string {
 	return s.listener.Addr().String()
 }
 
-// Close stops the listener and closes every connection.
+// Close stops the listener and abruptly closes every connection. In-flight
+// commands are torn; use Shutdown for a graceful drain. Close is idempotent
+// and safe after Shutdown.
 func (s *Server) Close() error {
+	s.closing.Store(true)
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
 	s.closed = true
 	var err error
 	if s.listener != nil {
@@ -123,12 +205,72 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown drains the server gracefully: it stops accepting, signals every
+// session to finish answering its in-flight pipelined batch, wakes
+// connections blocked waiting for their next command, and waits for the
+// sessions to exit. If ctx expires first, the stragglers are torn down. The
+// store is then flushed and closed so bookkeeping settles — queues, stats
+// and arena accounting reflect every answered request. Shutdown returns
+// ctx's error when the drain deadline forced connections closed, nil on a
+// clean drain. It is idempotent and safe to race with Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	s.draining.Store(true)
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	if !alreadyClosed && s.listener != nil {
+		s.listener.Close()
+	}
+	// Wake sessions blocked in a read: the expired deadline surfaces as a
+	// timeout, which step() treats as the drain signal (responses already
+	// queued are flushed on the way out). Sessions mid-batch notice the
+	// drain flag at their next batch boundary instead and are not torn.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.store.Flush()
+	if err := s.store.Close(); err != nil {
+		return err
+	}
+	return forced
+}
+
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return
+			// A closed listener is how Close/Shutdown stop this loop:
+			// classify it as a clean exit, not an error to surface.
+			if errors.Is(err, net.ErrClosed) || s.closing.Load() {
+				return
+			}
+			// Transient accept pressure (EMFILE during an accept storm):
+			// back off briefly instead of spinning or abandoning the
+			// listener.
+			s.logf("server: accept: %v", err)
+			time.Sleep(10 * time.Millisecond)
+			continue
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -136,17 +278,97 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.rejected.Add(1)
+			s.wg.Add(1)
+			go s.rejectConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.total.Add(1)
+		s.curr.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
+}
+
+// rejectConn tells a client the governor is shedding it and hangs up. The
+// write gets its own short deadline so a peer that never reads cannot pin
+// the goroutine.
+func (s *Server) rejectConn(conn net.Conn) {
+	defer s.wg.Done()
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	io.WriteString(conn, "SERVER_ERROR too many connections\r\n")
+	conn.Close()
 }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Printf(format, args...)
 	}
+}
+
+// governedConn enforces the governor's deadlines at the transport layer, so
+// neither the parser nor the handlers need to know about time. Reads at a
+// command boundary get the idle deadline; once a command's first byte has
+// arrived, the rest of the command (line and data block) must land by an
+// absolute per-command deadline — re-arming per read would let a slow-loris
+// client stay alive forever at one byte per interval. Writes get a fresh
+// write deadline each call. The session goroutine is the only reader and
+// writer, so the fields need no locking; arming a deadline does not
+// allocate, which keeps the governed path inside the hot-path alloc gates.
+type governedConn struct {
+	net.Conn
+	srv         *Server
+	idle        time.Duration
+	read        time.Duration
+	write       time.Duration
+	inCommand   bool
+	cmdDeadline time.Time
+	armed       bool
+}
+
+func (g *governedConn) Read(p []byte) (int, error) {
+	if !g.inCommand {
+		if g.idle > 0 {
+			g.Conn.SetReadDeadline(time.Now().Add(g.idle))
+			g.armed = true
+			// Shutdown wakes idle readers by expiring their deadline; if
+			// the drain began between the session's batch-boundary check
+			// and the arm above, the arm just erased the wake-up — re-expire.
+			if g.srv != nil && g.srv.draining.Load() {
+				g.Conn.SetReadDeadline(time.Now())
+			}
+		} else if g.armed {
+			g.Conn.SetReadDeadline(time.Time{})
+			g.armed = false
+		}
+		n, err := g.Conn.Read(p)
+		if n > 0 {
+			g.inCommand = true
+			if g.read > 0 {
+				g.cmdDeadline = time.Now().Add(g.read)
+			}
+		}
+		return n, err
+	}
+	if g.read > 0 {
+		g.Conn.SetReadDeadline(g.cmdDeadline)
+		g.armed = true
+	} else if g.armed {
+		g.Conn.SetReadDeadline(time.Time{})
+		g.armed = false
+	}
+	return g.Conn.Read(p)
+}
+
+func (g *governedConn) Write(p []byte) (int, error) {
+	if g.write > 0 {
+		g.Conn.SetWriteDeadline(time.Now().Add(g.write))
+	}
+	return g.Conn.Write(p)
 }
 
 // session is the per-connection state: the buffered reader/writer, the
@@ -156,11 +378,14 @@ func (s *Server) logf(format string, args ...any) {
 // needs in the steady state is reused across commands, so the request path
 // does not allocate.
 type session struct {
-	srv     *Server
-	r       *bufio.Reader
-	w       *bufio.Writer
-	parser  *protocol.Parser
-	tenant  string
+	srv    *Server
+	r      *bufio.Reader
+	w      *bufio.Writer
+	parser *protocol.Parser
+	tenant string
+	// gc is the governed transport under r and w; nil for in-memory
+	// sessions (tests). step toggles its command/idle phase.
+	gc      *governedConn
 	scratch []byte
 }
 
@@ -177,16 +402,36 @@ func newSession(s *Server, r *bufio.Reader, w *bufio.Writer) *session {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	// One poisoned session must never take the daemon down: recover, count,
+	// log, and let the cleanup defer below close the connection. Other
+	// sessions and the store are untouched — the panicking goroutine held
+	// no lock here (store-internal locks are released before values cross
+	// the API boundary).
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.logf("server: panic serving %v: %v\n%s", conn.RemoteAddr(), r, debug.Stack())
+		}
+	}()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.curr.Add(-1)
 		conn.Close()
 	}()
 
+	g := &governedConn{
+		Conn:  conn,
+		srv:   s,
+		idle:  s.cfg.IdleTimeout,
+		read:  s.cfg.ReadTimeout,
+		write: s.cfg.WriteTimeout,
+	}
 	c := newSession(s,
-		bufio.NewReaderSize(conn, 64<<10),
-		bufio.NewWriterSize(conn, 64<<10))
+		bufio.NewReaderSize(g, 64<<10),
+		bufio.NewWriterSize(g, 64<<10))
+	c.gc = g
 	for c.step() {
 	}
 }
@@ -198,9 +443,28 @@ func (s *Server) serveConn(conn net.Conn) {
 // i.e. right before the next read could block. A closed-loop client (one
 // request at a time) still gets a flush per request.
 func (c *session) step() bool {
+	if c.gc != nil {
+		// Command boundary: the next conn read waits under the idle
+		// deadline until a command's first byte arrives.
+		c.gc.inCommand = false
+	}
 	cmd, err := c.parser.ReadCommand()
 	if err != nil {
 		if errors.Is(err, protocol.ErrQuit) || errors.Is(err, io.EOF) {
+			return false
+		}
+		var netErr net.Error
+		if errors.As(err, &netErr) && netErr.Timeout() {
+			// A governor deadline fired — an idle connection, a slow-loris
+			// command, or the shutdown wake-up. Nothing useful can be said
+			// to the peer (it may be gone, and the parser may be mid-
+			// command), but responses already queued for answered commands
+			// are flushed on the way out so a drain never drops them.
+			if c.srv.draining.Load() {
+				c.w.Flush()
+			} else {
+				c.srv.timeouts.Add(1)
+			}
 			return false
 		}
 		if writeErr := protocol.WriteLine(c.w, "CLIENT_ERROR "+err.Error()); writeErr != nil {
@@ -217,7 +481,6 @@ func (c *session) step() bool {
 			return false
 		}
 		// Unknown commands are recoverable; IO errors are not.
-		var netErr net.Error
 		return !errors.As(err, &netErr)
 	}
 	if err := c.srv.handle(c, cmd); err != nil {
@@ -228,6 +491,12 @@ func (c *session) step() bool {
 		if err := c.w.Flush(); err != nil {
 			return false
 		}
+		// Batch answered and flushed: if a graceful shutdown is in
+		// progress, this is the drain point — exit before blocking on a
+		// next command that may never come.
+		if c.srv.draining.Load() {
+			return false
+		}
 	}
 	return true
 }
@@ -235,6 +504,9 @@ func (c *session) step() bool {
 // handle executes one command and writes its response.
 func (s *Server) handle(c *session, cmd *protocol.Command) error {
 	s.Ops.Add(1)
+	if s.testHookCommand != nil {
+		s.testHookCommand(cmd)
+	}
 	switch cmd.Name {
 	case protocol.VerbTenant:
 		c.tenant = cmd.Tenant
@@ -480,9 +752,16 @@ func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 	// Process-wide page pool: total raw pages, unleased pages, and this
 	// tenant's lease count (pages migrate between tenants at runtime).
 	ps := s.store.PageStats()
-	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "arena_bytes", "arena_occupancy", "epoch_current", "epoch_quarantined_chunks", "epoch_deferred_frees", "page_pool_total", "page_pool_free", "lease_pages"}
+	// Connection-governor counters (process-wide, memcached field names).
+	cs := s.ConnStats()
+	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "curr_connections", "total_connections", "rejected_connections", "conn_timeouts", "conn_panics", "arena_bytes", "arena_occupancy", "epoch_current", "epoch_quarantined_chunks", "epoch_deferred_frees", "page_pool_total", "page_pool_free", "lease_pages"}
 	stats := map[string]string{
 		"tenant":                   c.tenant,
+		"curr_connections":         strconv.FormatInt(cs.CurrConnections, 10),
+		"total_connections":        strconv.FormatInt(cs.TotalConnections, 10),
+		"rejected_connections":     strconv.FormatInt(cs.RejectedConnections, 10),
+		"conn_timeouts":            strconv.FormatInt(cs.ConnTimeouts, 10),
+		"conn_panics":              strconv.FormatInt(cs.ConnPanics, 10),
 		"cmd_get":                  strconv.FormatInt(st.Requests, 10),
 		"get_hits":                 strconv.FormatInt(st.Hits, 10),
 		"get_misses":               strconv.FormatInt(st.Misses, 10),
