@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race4 vet fmt bench bins conformance alloccheck fuzz replay churn verify chaos drain clean
+.PHONY: build test race race4 vet fmt bench bins conformance alloccheck fuzz replay churn verify arbiter chaos drain clean
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,16 @@ churn: bins
 # TestCrossCheckMemcachierSimVsWire).
 verify: bins
 	./bin/cliffbench -trace memcachier -verify -requests 100000 -scale 0.25
+
+# arbiter is the memshare smoke: the default/cliffhanger/memshare
+# head-to-head on the Memcachier trace with every app naively granted an
+# equal partition. The gate fails unless memshare's wire aggregate beats the
+# cliffhanger static split, every mode's sim-vs-wire agreement and
+# conservation audit holding along the way; the store-level convergence and
+# thrash proofs run under the race detector first.
+arbiter: bins
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestArbiter|TestPlanArbiterMove' -v ./internal/store/
+	./bin/cliffbench -trace memcachier -scale 0.25 -hitrate-json BENCH_hitrate.json -hitrate-gate
 
 # chaos runs the fault-injection suite under the race detector with real
 # parallelism: the connection governor, graceful drain and chaos proxy are

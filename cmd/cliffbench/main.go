@@ -38,6 +38,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -79,7 +80,9 @@ func main() {
 		rate      = flag.Float64("rate", 0, "open-loop injection rate in req/s (0 = closed loop)")
 		verify    = flag.Bool("verify", false, "cross-check wire-replay hit rates against internal/sim and exit")
 		tolerance = flag.Float64("tolerance", 0.02, "largest acceptable per-app |wire-sim| hit-rate delta for -verify")
-		modeFlag  = flag.String("mode", "cliffhanger", "allocation mode for -verify: default, cliffhanger, static, global-lru")
+		modeFlag  = flag.String("mode", "cliffhanger", "allocation mode for -verify: default, cliffhanger, static, global-lru, memshare")
+		hitrate   = flag.String("hitrate-json", "", "run the default/cliffhanger/memshare head-to-head over the wire, write per-app + aggregate hit rates to this JSON file, and exit")
+		hitGate   = flag.Bool("hitrate-gate", false, "with -hitrate-json: exit non-zero unless memshare's wire aggregate beats the cliffhanger static split")
 		printTen  = flag.Bool("print-tenants", false, "print the cliffhangerd -tenants value for the chosen trace and exit")
 		churn     = flag.Bool("churn", false, "run the tenant-churn lifecycle scenario (create/shrink/recover) and exit")
 		tenantMB  = flag.Int64("tenant-mb", 64, "primary tenant reservation in MB; -churn uses it to compute resize targets")
@@ -112,6 +115,16 @@ func main() {
 			logger.Fatalf("trace %s carries no tenant layout", wl.Name)
 		}
 		fmt.Println(workload.TenantSpec(wl.Apps))
+		return
+	}
+
+	if *hitrate != "" {
+		if opts.Requests <= 0 {
+			// Long enough for the arbiter to converge and amortize its
+			// migration transients.
+			opts.Requests = 500000
+		}
+		runHitrate(logger, *traceSpec, opts, *hitrate, *hitGate)
 		return
 	}
 
@@ -560,8 +573,12 @@ func runVerify(logger *log.Logger, spec string, opts workload.Options, modeName 
 		fmt.Printf("app%-2d gets=%-8d sim=%.4f wire=%.4f delta=%.4f\n",
 			a.App, a.Requests, a.Sim, a.Wire, a.Delta())
 	}
-	fmt.Printf("overall: sim=%.4f wire=%.4f max_delta=%.4f tolerance=%.4f fills=%d rejected_sets=%d\n",
+	fmt.Printf("overall: sim=%.4f wire=%.4f max_delta=%.4f tolerance=%.4f fills=%d rejected_sets=%d",
 		res.SimOverall, res.WireOverall, res.MaxDelta, res.Tolerance, res.Fills, res.RejectedSets)
+	if mode == store.AllocMemshare {
+		fmt.Printf(" arbiter_moves=%d", res.ArbiterMoves)
+	}
+	fmt.Println()
 	if !res.OK() {
 		fmt.Println("verify: FAIL")
 		os.Exit(1)
@@ -569,9 +586,130 @@ func runVerify(logger *log.Logger, spec string, opts workload.Options, modeName 
 	fmt.Println("verify: PASS")
 }
 
+// hitrateApp is one application's wire/sim hit-rate pair in the head-to-head
+// report.
+type hitrateApp struct {
+	App  int     `json:"app"`
+	Gets int64   `json:"gets"`
+	Sim  float64 `json:"sim_hit_rate"`
+	Wire float64 `json:"wire_hit_rate"`
+}
+
+// hitrateMode is one allocation mode's head-to-head result.
+type hitrateMode struct {
+	SimOverall   float64      `json:"sim_hit_rate"`
+	WireOverall  float64      `json:"wire_hit_rate"`
+	MaxDelta     float64      `json:"max_sim_wire_delta"`
+	ArbiterMoves int64        `json:"arbiter_moves,omitempty"`
+	Apps         []hitrateApp `json:"apps"`
+}
+
+// hitrateReport is the BENCH_hitrate.json document.
+type hitrateReport struct {
+	Trace    string  `json:"trace"`
+	Requests int64   `json:"requests"`
+	Seed     int64   `json:"seed"`
+	Scale    float64 `json:"scale"`
+	// EqualSplitMB is the per-app partition every mode runs under: the
+	// trace's total memory divided evenly across apps. The head-to-head
+	// models a naively provisioned cluster — the operator granted every
+	// tenant the same share instead of sizing partitions to the workloads —
+	// which is the operating point cross-tenant arbitration is meant to
+	// rescue and the one the static split cannot adapt from.
+	EqualSplitMB int64                  `json:"equal_split_mb"`
+	Modes        map[string]hitrateMode `json:"modes"`
+	// MemshareGain is memshare's wire aggregate minus cliffhanger's — the
+	// cross-tenant arbitration win over the static per-tenant split.
+	MemshareGain float64 `json:"memshare_minus_cliffhanger_wire"`
+}
+
+// runHitrate replays the same seeded trace under default, cliffhanger and
+// memshare through the sim-vs-wire cross-check harness (every run includes
+// its conservation audit) and records per-app + aggregate hit rates as JSON.
+// All three modes run with the trace's total memory split evenly across the
+// apps, so the only difference between cliffhanger and memshare is whether
+// memory can migrate between tenants at runtime. With gate set it exits
+// non-zero unless memshare's wire aggregate beats the cliffhanger static
+// split.
+func runHitrate(logger *log.Logger, spec string, opts workload.Options, path string, gate bool) {
+	wl := open(logger, spec, opts)
+	if wl.Apps == nil {
+		logger.Fatalf("trace %s carries no tenant layout for the head-to-head", wl.Name)
+	}
+	var totalMB int64
+	for _, a := range wl.Apps {
+		totalMB += a.MemoryMB
+	}
+	equalMB := totalMB / int64(len(wl.Apps))
+	if equalMB < 1 {
+		equalMB = 1
+	}
+	override := make(map[int]int64, len(wl.Apps))
+	for _, a := range wl.Apps {
+		override[a.ID] = equalMB << 20
+	}
+	wl.Close()
+
+	report := hitrateReport{
+		Trace:        spec,
+		Requests:     opts.Requests,
+		Seed:         opts.Seed,
+		Scale:        opts.Scale,
+		EqualSplitMB: equalMB,
+		Modes:        make(map[string]hitrateMode),
+	}
+	for _, mode := range []store.AllocationMode{
+		store.AllocDefault, store.AllocCliffhanger, store.AllocMemshare,
+	} {
+		logger.Printf("head-to-head: replaying %s (requests=%d seed=%d equal_split=%dMiB) under %s",
+			spec, opts.Requests, opts.Seed, equalMB, mode)
+		res, err := workload.CrossCheck(workload.VerifyConfig{
+			Spec: spec, Options: opts, Mode: mode,
+			AppMemoryOverride: override,
+			// The head-to-head reports rates rather than enforcing sim-wire
+			// agreement; the real tolerance gate is cliffbench -verify.
+			Tolerance: 1,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		m := hitrateMode{
+			SimOverall:   res.SimOverall,
+			WireOverall:  res.WireOverall,
+			MaxDelta:     res.MaxDelta,
+			ArbiterMoves: res.ArbiterMoves,
+		}
+		for _, a := range res.Apps {
+			m.Apps = append(m.Apps, hitrateApp{App: a.App, Gets: a.Requests, Sim: a.Sim, Wire: a.Wire})
+		}
+		report.Modes[mode.String()] = m
+		fmt.Printf("%-11s sim=%.4f wire=%.4f arbiter_moves=%d\n",
+			mode, res.SimOverall, res.WireOverall, res.ArbiterMoves)
+	}
+	report.MemshareGain = report.Modes[store.AllocMemshare.String()].WireOverall -
+		report.Modes[store.AllocCliffhanger.String()].WireOverall
+	fmt.Printf("memshare wire gain over cliffhanger static split: %+.4f\n", report.MemshareGain)
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("wrote %s", path)
+	if gate && report.MemshareGain <= 0 {
+		fmt.Println("hitrate gate: FAIL (memshare did not beat the static split)")
+		os.Exit(1)
+	}
+	if gate {
+		fmt.Println("hitrate gate: PASS")
+	}
+}
+
 func parseMode(s string) (store.AllocationMode, error) {
 	for _, m := range []store.AllocationMode{
-		store.AllocDefault, store.AllocCliffhanger, store.AllocStatic, store.AllocGlobalLRU,
+		store.AllocDefault, store.AllocCliffhanger, store.AllocStatic,
+		store.AllocGlobalLRU, store.AllocMemshare,
 	} {
 		if m.String() == s {
 			return m, nil

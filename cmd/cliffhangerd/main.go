@@ -28,6 +28,27 @@
 // -drain-timeout expires. Every request accepted before the signal is
 // answered on a clean drain.
 //
+// In -mode memshare the per-tenant partitions become fluid: a background
+// arbiter compares every tenant's shadow-queue marginal hit-rate-per-byte
+// each -arbiter-interval and migrates one page from the tenant whose memory
+// is doing the least good to the one whose would do the most, never shrinking
+// anyone below half its configured reservation. To watch it work, start two
+// tenants with equal shares, drive a hot workload at one, and poll the
+// arbiter stats:
+//
+//	cliffhangerd -addr :11211 -mode memshare -tenants hot:32,cold:32 &
+//	cliffbench -addr 127.0.0.1:11211 -tenant hot -duration 2m &
+//	while sleep 5; do
+//	    printf 'stats arbiter\r\nquit\r\n' | nc 127.0.0.1 11211 \
+//	        | grep -E 'arbiter_moves|lease_pages'
+//	done
+//
+// The hot tenant's lease_pages climbs tick by tick (and cold's falls toward
+// its reserved_pages floor) while arbiter_moves counts the transfers; the
+// same numbers appear in the plain "stats" verb (reserved_pages,
+// target_bytes, marginal_hit_per_byte, arbiter_moves), in client.StatsArbiter,
+// and on each -stats-json line.
+//
 // Pass -pprof-addr to expose the net/http/pprof profiling endpoints on a
 // side HTTP listener, e.g.:
 //
@@ -66,7 +87,8 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:11211", "TCP listen address")
 		tenants   = flag.String("tenants", "default:64", "comma-separated name:MB tenant reservations")
-		mode      = flag.String("mode", "cliffhanger", "allocation mode: default, cliffhanger, static, global-lru")
+		mode      = flag.String("mode", "cliffhanger", "allocation mode: default, cliffhanger, static, global-lru, memshare")
+		arbIntv   = flag.Duration("arbiter-interval", time.Second, "cross-tenant arbiter tick period for memshare mode (0 disables the background arbiter)")
 		policy    = flag.String("policy", "lru", "eviction policy for non-cliffhanger modes: lru, lfu, arc, facebook")
 		shards    = flag.Int("shards", 0, "value shards per tenant (0 = default)")
 		syncBk    = flag.Bool("sync-bookkeeping", false, "apply Cliffhanger bookkeeping inline on the request path (slower, deterministic)")
@@ -91,12 +113,16 @@ func main() {
 	if !ok {
 		logger.Fatalf("unknown policy %q", *policy)
 	}
-	st := store.New(store.Config{
+	cfg := store.Config{
 		DefaultMode:     m,
 		DefaultPolicy:   p,
 		ValueShards:     *shards,
 		SyncBookkeeping: *syncBk,
-	})
+	}
+	if m == store.AllocMemshare {
+		cfg.Arbiter = store.ArbiterConfig{Interval: *arbIntv}
+	}
+	st := store.New(cfg)
 	specs, err := parseTenants(*tenants)
 	if err != nil {
 		logger.Fatal(err)
@@ -189,7 +215,8 @@ func parseTenants(s string) ([]tenantSpec, error) {
 
 func parseMode(s string) (store.AllocationMode, error) {
 	for _, m := range []store.AllocationMode{
-		store.AllocDefault, store.AllocCliffhanger, store.AllocStatic, store.AllocGlobalLRU,
+		store.AllocDefault, store.AllocCliffhanger, store.AllocStatic,
+		store.AllocGlobalLRU, store.AllocMemshare,
 	} {
 		if m.String() == s {
 			return m, nil
@@ -201,12 +228,17 @@ func parseMode(s string) (store.AllocationMode, error) {
 // statsTick is the JSON shape written per -stats-interval tick: one line per
 // tick so the file tails and greps like a log but parses like a dataset.
 type statsTick struct {
-	TS        string           `json:"ts"`
-	OpsPerSec float64          `json:"ops_per_sec"`
-	GetP99Us  int64            `json:"get_p99_us"`
-	SetP99Us  int64            `json:"set_p99_us"`
-	Pool      poolStats        `json:"page_pool"`
-	Tenants   []tenantTickStat `json:"tenants"`
+	TS        string    `json:"ts"`
+	OpsPerSec float64   `json:"ops_per_sec"`
+	GetP99Us  int64     `json:"get_p99_us"`
+	SetP99Us  int64     `json:"set_p99_us"`
+	Pool      poolStats `json:"page_pool"`
+	// ArbiterMoves/ArbiterLastMove expose the memshare arbiter's cumulative
+	// decision count and most recent transfer (zero/empty outside memshare
+	// mode), so a stats-json trail shows when memory moved between tenants.
+	ArbiterMoves    int64            `json:"arbiter_moves,omitempty"`
+	ArbiterLastMove string           `json:"arbiter_last_move,omitempty"`
+	Tenants         []tenantTickStat `json:"tenants"`
 }
 
 type poolStats struct {
@@ -224,6 +256,10 @@ type tenantTickStat struct {
 	QuarantinedChunks int64   `json:"quarantined_chunks"`
 	DeferredFrees     int64   `json:"deferred_frees"`
 	LeasePages        int64   `json:"lease_pages"`
+	// ReservedPages is the arbiter floor and MarginalHitPerByte the
+	// shadow-queue signal the arbiter ranks the tenant by (memshare mode).
+	ReservedPages      int64   `json:"reserved_pages,omitempty"`
+	MarginalHitPerByte float64 `json:"marginal_hit_per_byte,omitempty"`
 }
 
 func logStats(logger *log.Logger, srv *server.Server, st *store.Store, interval time.Duration, jsonOut *os.File) {
@@ -235,12 +271,15 @@ func logStats(logger *log.Logger, srv *server.Server, st *store.Store, interval 
 		var parts []string
 		var arenaBytes, arenaUsed, arenaTotal int64
 		ps := st.PageStats()
+		as := st.ArbiterStats()
 		tick := statsTick{
-			TS:        time.Now().UTC().Format(time.RFC3339Nano),
-			OpsPerSec: srv.Ops.Rate(),
-			GetP99Us:  srv.GetLatency.Quantile(0.99).Microseconds(),
-			SetP99Us:  srv.SetLatency.Quantile(0.99).Microseconds(),
-			Pool:      poolStats{TotalPages: ps.TotalPages, FreePages: ps.FreePages},
+			TS:              time.Now().UTC().Format(time.RFC3339Nano),
+			OpsPerSec:       srv.Ops.Rate(),
+			GetP99Us:        srv.GetLatency.Quantile(0.99).Microseconds(),
+			SetP99Us:        srv.SetLatency.Quantile(0.99).Microseconds(),
+			Pool:            poolStats{TotalPages: ps.TotalPages, FreePages: ps.FreePages},
+			ArbiterMoves:    as.Moves,
+			ArbiterLastMove: as.LastMove,
 		}
 		for _, name := range st.Tenants() {
 			s, err := st.Stats(name)
@@ -262,16 +301,19 @@ func logStats(logger *log.Logger, srv *server.Server, st *store.Store, interval 
 				occ = float64(ub) / float64(tb)
 			}
 			rs, _ := st.ReclaimStats(name)
+			at := as.Tenants[name]
 			tick.Tenants = append(tick.Tenants, tenantTickStat{
-				Name:              name,
-				HitRate:           s.HitRate(),
-				Requests:          s.Requests,
-				ArenaBytes:        ab,
-				Occupancy:         occ,
-				Epoch:             rs.Epoch,
-				QuarantinedChunks: rs.QuarantinedChunks,
-				DeferredFrees:     rs.DeferredFrees,
-				LeasePages:        ps.Leases[name],
+				Name:               name,
+				HitRate:            s.HitRate(),
+				Requests:           s.Requests,
+				ArenaBytes:         ab,
+				Occupancy:          occ,
+				Epoch:              rs.Epoch,
+				QuarantinedChunks:  rs.QuarantinedChunks,
+				DeferredFrees:      rs.DeferredFrees,
+				LeasePages:         ps.Leases[name],
+				ReservedPages:      at.ReservedPages,
+				MarginalHitPerByte: at.MarginalHitPerByte,
 			})
 		}
 		occupancy := 0.0

@@ -828,6 +828,68 @@ func (c *Client) StatsSlabs() (map[string]string, error) {
 	return c.statsCmd("stats slabs")
 }
 
+// ArbiterTenant is one tenant's arbitration-facing state as parsed from
+// "stats arbiter": its page-pool lease, the floor the arbiter will not
+// shrink it below, the reservation it is converging to, the two
+// hit-rate-per-byte estimates the arbiter ranks it by, and whether it
+// participates in cross-tenant arbitration at all (memshare mode).
+type ArbiterTenant struct {
+	Arbitrated         bool
+	LeasePages         int64
+	ReservedPages      int64
+	TargetBytes        int64
+	MarginalHitPerByte float64
+	HitDensityPerByte  float64
+}
+
+// ArbiterStats is the parsed "stats arbiter" response: the process-wide move
+// counter, the most recent move ("donor->recipient:bytes", empty before the
+// first), and every tenant's state.
+type ArbiterStats struct {
+	Moves    int64
+	LastMove string
+	Tenants  map[string]ArbiterTenant
+}
+
+// StatsArbiter fetches and parses the "stats arbiter" sub-command — the
+// cross-tenant memory arbiter's observable state. Polling it is how an
+// operator watches memory migrate between memshare tenants live.
+func (c *Client) StatsArbiter() (*ArbiterStats, error) {
+	raw, err := c.statsCmd("stats arbiter")
+	if err != nil {
+		return nil, err
+	}
+	out := &ArbiterStats{Tenants: make(map[string]ArbiterTenant)}
+	out.Moves, _ = strconv.ParseInt(raw["arbiter_moves"], 10, 64)
+	out.LastMove = raw["arbiter_last_move"]
+	for k, v := range raw {
+		i := strings.LastIndex(k, ":")
+		if i < 0 {
+			continue
+		}
+		name, field := k[:i], k[i+1:]
+		t := out.Tenants[name]
+		switch field {
+		case "arbitrated":
+			t.Arbitrated = v == "true"
+		case "lease_pages":
+			t.LeasePages, _ = strconv.ParseInt(v, 10, 64)
+		case "reserved_pages":
+			t.ReservedPages, _ = strconv.ParseInt(v, 10, 64)
+		case "target_bytes":
+			t.TargetBytes, _ = strconv.ParseInt(v, 10, 64)
+		case "marginal_hit_per_byte":
+			t.MarginalHitPerByte, _ = strconv.ParseFloat(v, 64)
+		case "hit_density_per_byte":
+			t.HitDensityPerByte, _ = strconv.ParseFloat(v, 64)
+		default:
+			continue
+		}
+		out.Tenants[name] = t
+	}
+	return out, nil
+}
+
 func (c *Client) statsCmd(cmd string) (map[string]string, error) {
 	var stats map[string]string
 	err := c.retry(cmd, func() error {

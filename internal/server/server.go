@@ -33,6 +33,7 @@ import (
 	"log"
 	"net"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -726,8 +727,11 @@ func (s *Server) handleDelete(c *session, cmd *protocol.Command) error {
 
 func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 	if len(cmd.Keys) > 0 {
-		if string(cmd.Keys[0]) == "slabs" {
+		switch string(cmd.Keys[0]) {
+		case "slabs":
 			return s.handleStatsSlabs(c)
+		case "arbiter":
+			return s.handleStatsArbiter(c)
 		}
 		return protocol.WriteLine(c.w, "ERROR")
 	}
@@ -754,7 +758,12 @@ func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 	ps := s.store.PageStats()
 	// Connection-governor counters (process-wide, memcached field names).
 	cs := s.ConnStats()
-	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "curr_connections", "total_connections", "rejected_connections", "conn_timeouts", "conn_panics", "arena_bytes", "arena_occupancy", "epoch_current", "epoch_quarantined_chunks", "epoch_deferred_frees", "page_pool_total", "page_pool_free", "lease_pages"}
+	// Arbitration-facing state for this tenant: the reserved floor the
+	// arbiter honours, the reservation it is converging to, and the marginal
+	// hit-rate-per-byte signal it ranks the tenant by.
+	as := s.store.ArbiterStats()
+	at := as.Tenants[c.tenant]
+	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "curr_connections", "total_connections", "rejected_connections", "conn_timeouts", "conn_panics", "arena_bytes", "arena_occupancy", "epoch_current", "epoch_quarantined_chunks", "epoch_deferred_frees", "page_pool_total", "page_pool_free", "lease_pages", "reserved_pages", "target_bytes", "marginal_hit_per_byte", "arbiter_moves"}
 	stats := map[string]string{
 		"tenant":                   c.tenant,
 		"curr_connections":         strconv.FormatInt(cs.CurrConnections, 10),
@@ -779,6 +788,10 @@ func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 		"page_pool_total":          strconv.FormatInt(ps.TotalPages, 10),
 		"page_pool_free":           strconv.FormatInt(ps.FreePages, 10),
 		"lease_pages":              strconv.FormatInt(ps.Leases[c.tenant], 10),
+		"reserved_pages":           strconv.FormatInt(at.ReservedPages, 10),
+		"target_bytes":             strconv.FormatInt(at.TargetBytes, 10),
+		"marginal_hit_per_byte":    strconv.FormatFloat(at.MarginalHitPerByte, 'g', -1, 64),
+		"arbiter_moves":            strconv.FormatInt(as.Moves, 10),
 	}
 	for _, cl := range st.Classes {
 		k := fmt.Sprintf("class_%d_hit_rate", cl.Class)
@@ -788,6 +801,40 @@ func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 			hr = float64(cl.Hits) / float64(cl.Requests)
 		}
 		stats[k] = fmt.Sprintf("%.4f", hr)
+	}
+	return protocol.WriteStats(c.w, stats, order)
+}
+
+// handleStatsArbiter serves the "stats arbiter" sub-command: the
+// process-wide move count and last move, then every tenant's
+// arbitration-facing state ("<tenant>:<field>") — lease/reserved pages, the
+// reservation target, the two hit-rate-per-byte estimates, and whether the
+// tenant participates in arbitration at all. Tenants are emitted in sorted
+// order so the output is stable, which is what lets an operator watch memory
+// migrate between tenants with a watch loop.
+func (s *Server) handleStatsArbiter(c *session) error {
+	as := s.store.ArbiterStats()
+	var order []string
+	stats := make(map[string]string)
+	add := func(k, v string) {
+		order = append(order, k)
+		stats[k] = v
+	}
+	add("arbiter_moves", strconv.FormatInt(as.Moves, 10))
+	add("arbiter_last_move", as.LastMove)
+	names := make([]string, 0, len(as.Tenants))
+	for n := range as.Tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := as.Tenants[n]
+		add(n+":arbitrated", strconv.FormatBool(t.Arbitrated))
+		add(n+":lease_pages", strconv.FormatInt(t.LeasePages, 10))
+		add(n+":reserved_pages", strconv.FormatInt(t.ReservedPages, 10))
+		add(n+":target_bytes", strconv.FormatInt(t.TargetBytes, 10))
+		add(n+":marginal_hit_per_byte", strconv.FormatFloat(t.MarginalHitPerByte, 'g', -1, 64))
+		add(n+":hit_density_per_byte", strconv.FormatFloat(t.HitDensityPerByte, 'g', -1, 64))
 	}
 	return protocol.WriteStats(c.w, stats, order)
 }

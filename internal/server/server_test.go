@@ -686,3 +686,74 @@ func TestServerExpiryEndToEnd(t *testing.T) {
 		t.Fatalf("touched key should outlive its original TTL")
 	}
 }
+
+// TestServerArbiterStats drives the "stats arbiter" verb and the per-tenant
+// arbitration fields of plain "stats" over a real socket against a memshare
+// store, and exercises the client-side typed parser: after the arbiter moves
+// memory toward the loaded tenant, both surfaces must agree on the lease,
+// floor and move count.
+func TestServerArbiterStats(t *testing.T) {
+	srv, st := startTestServer(t, store.AllocMemshare)
+	c := dialTest(t, srv)
+
+	// Load the default tenant far past its partition so its shadow queues
+	// light up, leaving app2 idle.
+	value := make([]byte, 4096)
+	for i := 0; i < 6000; i++ {
+		key := fmt.Sprintf("arb-%d", i)
+		if _, ok, err := c.Get(key); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			if err := c.Set(key, value); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%1000 == 999 {
+			st.ArbiterTick()
+		}
+	}
+
+	as, err := c.StatsArbiter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := st.ArbiterStats()
+	if as.Moves != want.Moves || as.LastMove != want.LastMove {
+		t.Fatalf("parsed moves=%d last=%q, store says moves=%d last=%q",
+			as.Moves, as.LastMove, want.Moves, want.LastMove)
+	}
+	for _, name := range []string{"default", "app2"} {
+		got, ok := as.Tenants[name]
+		if !ok {
+			t.Fatalf("stats arbiter missing tenant %s: %+v", name, as)
+		}
+		w := want.Tenants[name]
+		if !got.Arbitrated || got.LeasePages != w.LeasePages ||
+			got.ReservedPages != w.ReservedPages || got.TargetBytes != w.TargetBytes {
+			t.Fatalf("tenant %s parsed %+v, store says %+v", name, got, w)
+		}
+	}
+	// app2's floor is half its 4 MiB registration: 2 pages under the default
+	// 1 MiB page geometry.
+	if as.Tenants["app2"].ReservedPages != 2 {
+		t.Fatalf("app2 reserved_pages = %d, want 2", as.Tenants["app2"].ReservedPages)
+	}
+
+	// The plain per-tenant stats verb carries the same arbitration fields.
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats["reserved_pages"]; got != strconv.FormatInt(want.Tenants["default"].ReservedPages, 10) {
+		t.Fatalf("stats reserved_pages = %q, want %d", got, want.Tenants["default"].ReservedPages)
+	}
+	if got := stats["arbiter_moves"]; got != strconv.FormatInt(want.Moves, 10) {
+		t.Fatalf("stats arbiter_moves = %q, want %d", got, want.Moves)
+	}
+	if _, err := strconv.ParseFloat(stats["marginal_hit_per_byte"], 64); err != nil {
+		t.Fatalf("stats marginal_hit_per_byte = %q: %v", stats["marginal_hit_per_byte"], err)
+	}
+	if _, err := strconv.ParseInt(stats["target_bytes"], 10, 64); err != nil {
+		t.Fatalf("stats target_bytes = %q: %v", stats["target_bytes"], err)
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"cliffhanger/internal/core"
+	"cliffhanger/internal/solver"
+	"cliffhanger/internal/store"
+	"cliffhanger/internal/trace"
+)
+
+// TestPolicyGoldenHitRates pins the simulator's hit rates for every
+// allocation policy to the exact values produced before the per-mode switch
+// statements in internal/store/tenant.go were extracted into the
+// partitionPolicy layer. The comparison is on raw hit counts, not rounded
+// rates, so any behavioral drift in the refactored policies — a different
+// grow order, an extra eviction, a changed resize rounding — fails loudly.
+// The 4-decimal rates in the test names match the numbers recorded in
+// CHANGES.md across earlier PRs (default 0.4696 / cliffhanger 0.4869, app1
+// 0.3910 vs 0.4385, solver app1 0.6434).
+func TestPolicyGoldenHitRates(t *testing.T) {
+	apps := smallApps()
+
+	solverAllocs := func(t *testing.T) map[int]map[int]int64 {
+		t.Helper()
+		profiles := ProfileClasses(nil, trace.NewGenerator(trace.GeneratorConfig{
+			Apps: apps, Requests: 300000, Seed: 42,
+		}), ProfileOptions{CurvePoints: 100})
+		allocs, err := DynacacheAllocations(profiles, apps, solver.Options{Concavify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return allocs
+	}
+
+	cases := []struct {
+		name     string
+		mode     store.AllocationMode
+		requests int64
+		mutate   func(*testing.T, *Config)
+		// Golden values measured at commit f912d5d (pre-refactor).
+		hits, app1Hits int64
+		rate, app1Rate string
+	}{
+		{
+			name: "default", mode: store.AllocDefault, requests: 400000,
+			hits: 187842, app1Hits: 109324, rate: "0.4696", app1Rate: "0.3910",
+		},
+		{
+			name: "cliffhanger", mode: store.AllocCliffhanger, requests: 400000,
+			mutate: func(_ *testing.T, c *Config) {
+				c.Cliffhanger = core.DefaultConfig()
+				c.Cliffhanger.ShadowBytes = 512 << 10
+			},
+			hits: 194780, app1Hits: 122605, rate: "0.4869", app1Rate: "0.4385",
+		},
+		{
+			name: "static-solver", mode: store.AllocStatic, requests: 300000,
+			mutate: func(t *testing.T, c *Config) {
+				c.StaticAllocations = solverAllocs(t)
+			},
+			hits: 192959, app1Hits: 134883, rate: "0.6432", app1Rate: "0.6434",
+		},
+		{
+			name: "global-lru", mode: store.AllocGlobalLRU, requests: 150000,
+			hits: 40293, app1Hits: 13000, rate: "0.2686", app1Rate: "0.1242",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Apps: apps, Mode: tc.mode}
+			if tc.mutate != nil {
+				tc.mutate(t, &cfg)
+			}
+			res, err := RunWithGenerator(cfg, tc.requests, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			app1 := res.App(1)
+			t.Logf("overall %d hits (%.4f), app1 %d hits (%.4f)",
+				res.TotalHits, res.HitRate(), app1.Hits, app1.HitRate())
+			if res.TotalHits != tc.hits || app1.Hits != tc.app1Hits {
+				t.Errorf("hit counts diverged from golden: overall %d want %d, app1 %d want %d",
+					res.TotalHits, tc.hits, app1.Hits, tc.app1Hits)
+			}
+			if got := fmt.Sprintf("%.4f", res.HitRate()); got != tc.rate {
+				t.Errorf("overall hit rate %s, golden %s", got, tc.rate)
+			}
+			if got := fmt.Sprintf("%.4f", app1.HitRate()); got != tc.app1Rate {
+				t.Errorf("app1 hit rate %s, golden %s", got, tc.app1Rate)
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"cliffhanger/internal/cache"
 	"cliffhanger/internal/core"
@@ -52,6 +53,15 @@ type Config struct {
 	// WindowSize, when > 0, records each app's hit rate over consecutive
 	// windows of WindowSize requests (Figure 9).
 	WindowSize int64
+	// Arbiter configures the cross-tenant Memshare arbiter for
+	// store.AllocMemshare runs (zero value = store defaults).
+	Arbiter store.ArbiterConfig
+	// ArbiterEvery is the arbiter tick cadence in demand-fill GET requests
+	// across all apps; 0 uses store.DefaultArbiterEvery. Only meaningful in
+	// store.AllocMemshare mode. The wire-replay cross-check drives the real
+	// store's arbiter at the same request counts, which is what keeps a
+	// memshare simulation and a memshare server replay comparable.
+	ArbiterEvery int64
 }
 
 // TimelineSample is one snapshot of an application's per-class memory
@@ -215,6 +225,59 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 		}
 	}
 
+	// In memshare mode the simulator runs the same arbiter decision engine
+	// the Store does, at a deterministic request cadence, over observations
+	// ordered exactly as the Store orders them (sorted by tenant name).
+	var arb *store.ArbiterState
+	var arbIDs []int
+	arbEvery := cfg.ArbiterEvery
+	if cfg.Mode == store.AllocMemshare {
+		geom := cfg.Geometry
+		if geom == nil {
+			geom = slab.DefaultGeometry()
+		}
+		arb = store.NewArbiterState(cfg.Arbiter, geom.PageSize)
+		if arbEvery <= 0 {
+			arbEvery = store.DefaultArbiterEvery
+		}
+		for _, app := range cfg.Apps {
+			arbIDs = append(arbIDs, app.ID)
+		}
+		sort.Slice(arbIDs, func(i, j int) bool {
+			return TenantName(arbIDs[i]) < TenantName(arbIDs[j])
+		})
+	}
+	arbiterTick := func() {
+		obs := make([]store.ArbiterObservation, 0, len(arbIDs))
+		for _, id := range arbIDs {
+			tenant := tenants[id]
+			var shadow int64
+			if m := tenant.Manager(); m != nil {
+				shadow = m.TotalStats().ShadowHits
+			}
+			obs = append(obs, store.ArbiterObservation{
+				Name:          TenantName(id),
+				ShadowHits:    shadow,
+				Hits:          tenant.Hits(),
+				ShadowBytes:   tenant.ShadowBytes(),
+				TargetBytes:   tenant.MemoryBytes(),
+				ReservedBytes: tenant.ReservedBytes(),
+			})
+		}
+		mv, ok := arb.Tick(obs)
+		if !ok {
+			return
+		}
+		for _, id := range arbIDs {
+			switch TenantName(id) {
+			case mv.Donor:
+				tenants[id].Resize(mv.DonorBytes)
+			case mv.Recipient:
+				tenants[id].Resize(mv.RecipientBytes)
+			}
+		}
+	}
+
 	res := &Result{Mode: cfg.Mode, Apps: results}
 	for {
 		req, ok := src.Next()
@@ -247,6 +310,9 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 			if w := windows[req.App]; w != nil {
 				w.Record(hit)
 			}
+			if arb != nil && res.TotalRequests%arbEvery == 0 {
+				arbiterTick()
+			}
 			if cfg.TimelineInterval > 0 && ar.Requests%cfg.TimelineInterval == 0 {
 				ar.Timeline = append(ar.Timeline, TimelineSample{
 					Request:    ar.Requests,
@@ -257,9 +323,12 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 		}
 	}
 
-	// Fold per-class tenant statistics into the results.
+	// Fold per-class tenant statistics into the results. MemoryBytes is
+	// re-read so a memshare run reports each app's final reservation after
+	// arbitration (identical to the initial one in every other mode).
 	for id, tenant := range tenants {
 		ar := results[id]
+		ar.MemoryBytes = tenant.MemoryBytes()
 		for _, cs := range tenant.Stats().Classes {
 			ar.Classes[cs.Class] = &ClassResult{
 				Class:      cs.Class,

@@ -1,0 +1,285 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cliffhanger/internal/cache"
+)
+
+// TestPlanArbiterMove pins the decision rule: lowest-density eligible donor,
+// highest-marginal recipient, floor and cooldown respected, and no move
+// unless the recipient's estimated gain clears the donor's loss bound by the
+// hysteresis threshold.
+func TestPlanArbiterMove(t *testing.T) {
+	const step = 1 << 20
+	mk := func(name string, marginal, density float64, target, reserved int64) ArbiterInput {
+		return ArbiterInput{Name: name, Marginal: marginal, Density: density,
+			TargetBytes: target, ReservedBytes: reserved}
+	}
+	t.Run("basic", func(t *testing.T) {
+		ins := []ArbiterInput{
+			mk("a", 5e-6, 40e-6, 8<<20, 4<<20),
+			mk("b", 90e-6, 10e-6, 8<<20, 4<<20),
+			mk("c", 2e-6, 5e-6, 8<<20, 4<<20),
+		}
+		d, r, ok := PlanArbiterMove(ins, step, 24.0/(1<<20))
+		if !ok || ins[d].Name != "c" || ins[r].Name != "b" {
+			t.Fatalf("got donor=%d recipient=%d ok=%v, want c->b", d, r, ok)
+		}
+	})
+	t.Run("floor blocks donor", func(t *testing.T) {
+		ins := []ArbiterInput{
+			mk("floor", 0, 0, 4<<20, 4<<20), // lowest density but at its floor
+			mk("next", 1e-6, 5e-6, 8<<20, 4<<20),
+			mk("hot", 90e-6, 50e-6, 8<<20, 4<<20),
+		}
+		d, r, ok := PlanArbiterMove(ins, step, 0)
+		if !ok || ins[d].Name != "next" || ins[r].Name != "hot" {
+			t.Fatalf("got donor=%d recipient=%d ok=%v, want next->hot", d, r, ok)
+		}
+	})
+	t.Run("hysteresis threshold", func(t *testing.T) {
+		ins := []ArbiterInput{
+			mk("cold", 0, 10.0/(1<<20), 8<<20, 4<<20),
+			mk("warm", 30.0/(1<<20), 50.0/(1<<20), 8<<20, 4<<20),
+		}
+		// Gap is 20 hits/MiB: below a 24 hits/MiB threshold, above a 16.
+		if _, _, ok := PlanArbiterMove(ins, step, 24.0/(1<<20)); ok {
+			t.Fatal("moved on a gap below the threshold")
+		}
+		if _, _, ok := PlanArbiterMove(ins, step, 16.0/(1<<20)); !ok {
+			t.Fatal("refused a gap above the threshold")
+		}
+	})
+	t.Run("cooldown", func(t *testing.T) {
+		cold := mk("cold", 0, 0, 8<<20, 4<<20)
+		hot := mk("hot", 90e-6, 50e-6, 8<<20, 4<<20)
+		cold.NoDonate = true
+		if _, _, ok := PlanArbiterMove([]ArbiterInput{cold, hot}, step, 0); ok {
+			t.Fatal("cooled-down donor still donated")
+		}
+		cold.NoDonate = false
+		hot.NoReceive = true
+		if _, _, ok := PlanArbiterMove([]ArbiterInput{cold, hot}, step, 0); ok {
+			t.Fatal("cooled-down recipient still received")
+		}
+	})
+	t.Run("self move rejected", func(t *testing.T) {
+		only := []ArbiterInput{mk("solo", 90e-6, 0, 8<<20, 4<<20)}
+		if _, _, ok := PlanArbiterMove(only, step, 0); ok {
+			t.Fatal("single tenant arbitraged against itself")
+		}
+	})
+}
+
+// TestArbiterStateThrash pins the directional cooldown under an oscillating
+// workload: the hot role alternates between two tenants every period. The
+// arbiter may repeat the same transfer direction on consecutive ticks (that
+// is convergence, and the EWMA-smoothed signal legitimately trails a flip),
+// but any two moves in opposite directions must be separated by more than
+// CooldownTicks — a tenant that just donated cannot claw memory back inside
+// its cooldown window — and the arbiter must still adapt: both directions
+// have to occur across the run, with far fewer moves than ticks.
+func TestArbiterStateThrash(t *testing.T) {
+	const (
+		mib       = int64(1 << 20)
+		cooldown  = 4
+		period    = 12 // ticks per hot phase; slower than the cooldown
+		ticks     = 96
+		shadowBig = 400 // shadow-hit delta of whichever tenant is hot
+	)
+	st := NewArbiterState(ArbiterConfig{CooldownTicks: cooldown, MinRateDelta: 24.0 / (1 << 20)}, mib)
+	target := map[string]int64{"a": 8 * mib, "b": 8 * mib}
+	shadow := map[string]int64{}
+	hits := map[string]int64{}
+	type rec struct {
+		tick  int
+		donor string
+	}
+	var moves []rec
+	for i := 0; i < ticks; i++ {
+		hot := "a"
+		if (i/period)%2 == 1 {
+			hot = "b"
+		}
+		obs := make([]ArbiterObservation, 0, 2)
+		for _, n := range []string{"a", "b"} {
+			if n == hot {
+				shadow[n] += shadowBig
+				hits[n] += 100 // the hot tenant also realizes more hits
+			} else {
+				hits[n] += 50
+			}
+			obs = append(obs, ArbiterObservation{
+				Name: n, ShadowHits: shadow[n], Hits: hits[n],
+				ShadowBytes: mib, TargetBytes: target[n], ReservedBytes: 4 * mib,
+			})
+		}
+		if mv, ok := st.Tick(obs); ok {
+			target[mv.Donor] = mv.DonorBytes
+			target[mv.Recipient] = mv.RecipientBytes
+			moves = append(moves, rec{tick: i, donor: mv.Donor})
+		}
+	}
+	if len(moves) == 0 {
+		t.Fatal("arbiter never moved under an oscillating workload")
+	}
+	dirs := map[string]bool{}
+	flips := 0
+	for i, m := range moves {
+		dirs[m.donor] = true
+		if i > 0 && moves[i-1].donor != m.donor {
+			flips++
+			if gap := m.tick - moves[i-1].tick; gap <= cooldown {
+				t.Errorf("role flip after %d ticks (move %d -> %d), cooldown demands > %d",
+					gap, moves[i-1].tick, m.tick, cooldown)
+			}
+		}
+	}
+	if !dirs["a"] || !dirs["b"] {
+		t.Errorf("moves only ever flowed one way (%v); the arbiter failed to adapt to the flip", dirs)
+	}
+	// Each hot phase may at most re-converge across the whole span between
+	// the two floors (8 pages here), and the transfer direction may reverse
+	// at most once per phase — anything beyond that is pages ping-ponging.
+	phases := ticks / period
+	if span := int((8*mib - 4*mib) / mib * 2); len(moves) > phases*span {
+		t.Errorf("%d moves in %d phases (span %d): pages are thrashing", len(moves), phases, span)
+	}
+	if flips >= phases {
+		t.Errorf("%d direction reversals in %d phases: more than one per workload flip", flips, phases)
+	}
+	if st.Moves() != int64(len(moves)) {
+		t.Errorf("Moves() = %d, want %d", st.Moves(), len(moves))
+	}
+	t.Logf("%d moves over %d ticks: %v", len(moves), ticks, moves)
+}
+
+// TestArbiterStateQuietWorkload pins the hysteresis threshold end to end: two
+// tenants whose signals differ by less than MinRateDelta never trade pages.
+func TestArbiterStateQuietWorkload(t *testing.T) {
+	const mib = int64(1 << 20)
+	st := NewArbiterState(ArbiterConfig{}, mib)
+	var shadowA, shadowB int64
+	for i := 0; i < 50; i++ {
+		// Both tenants see ~the same small shadow signal, below the default
+		// 24 hits/MiB threshold.
+		shadowA += 10
+		shadowB += 12
+		obs := []ArbiterObservation{
+			{Name: "a", ShadowHits: shadowA, ShadowBytes: mib, TargetBytes: 8 * mib, ReservedBytes: 4 * mib},
+			{Name: "b", ShadowHits: shadowB, ShadowBytes: mib, TargetBytes: 8 * mib, ReservedBytes: 4 * mib},
+		}
+		if mv, ok := st.Tick(obs); ok {
+			t.Fatalf("tick %d: moved %+v on a sub-threshold gap", i, mv)
+		}
+	}
+}
+
+// zipfRank draws a 0-based rank from an s=1.0 zipf over n keys: with u
+// uniform in [0,1), floor(n^u) is distributed with P(rank=r) proportional to
+// 1/r — the classic web-cache popularity curve, and the skew the convergence
+// scenario in the issue calls for.
+func zipfRank(rng *rand.Rand, n int) int {
+	r := int(math.Pow(float64(n), rng.Float64()))
+	if r >= n {
+		r = n - 1
+	}
+	return r
+}
+
+// TestArbiterConvergence is the end-to-end memshare proof on a live store:
+// two tenants start from equal partitions, one runs a hot zipf(s=1.0)
+// workload over twice its memory while the other idles along fully resident.
+// Pages must flow hot-ward until the cold tenant sits on its reserved floor,
+// chunk conservation must hold exactly after every arbiter round, and the
+// arbitrated store must end with strictly more aggregate hits than an
+// identically-driven cliffhanger twin stuck with the static equal split.
+func TestArbiterConvergence(t *testing.T) {
+	const (
+		mib        = int64(1 << 20)
+		partition  = 8 * mib
+		floor      = 4 * mib // memshare default: half the reservation
+		hotKeys    = 16384   // ~16 MiB working set at ~1 KiB per item
+		coldKeys   = 64
+		valueSize  = 1000
+		requests   = 300000
+		tickEvery  = 2048
+		coldStride = 64 // 1 in 64 requests goes to the cold tenant
+	)
+	newStore := func(mode AllocationMode) *Store {
+		// A lower-than-default hysteresis threshold: the zipf tail's marginal
+		// thins as the hot tenant grows, and this test wants convergence all
+		// the way to the floor (the production default trades the last pages
+		// of convergence for noise immunity; the head-to-head bench covers it).
+		s := New(Config{DefaultPolicy: cache.PolicyLRU, SyncBookkeeping: true,
+			Arbiter: ArbiterConfig{MinRateDelta: 4.0 / (1 << 20)}})
+		for _, name := range []string{"hot", "cold"} {
+			if err := s.RegisterTenantConfig(TenantConfig{
+				Name: name, MemoryBytes: partition, Mode: mode, Policy: cache.PolicyLRU,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	arbitrated := newStore(AllocMemshare)
+	defer arbitrated.Close()
+	static := newStore(AllocCliffhanger)
+	defer static.Close()
+
+	value := make([]byte, valueSize)
+	hits := map[*Store]int64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < requests; i++ {
+		tenant, key := "hot", zipfRank(rng, hotKeys)
+		if i%coldStride == 0 {
+			tenant, key = "cold", i%coldKeys
+		}
+		k := fmt.Sprintf("%s-%d", tenant, key)
+		for _, s := range []*Store{arbitrated, static} {
+			_, ok, err := s.Get(tenant, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				hits[s]++
+			} else if err := s.Set(tenant, k, value); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if (i+1)%tickEvery == 0 {
+			arbitrated.ArbiterTick()
+			for _, name := range []string{"hot", "cold"} {
+				if err := arbitrated.AuditConservation(name); err != nil {
+					t.Fatalf("conservation after tick at request %d: %v", i+1, err)
+				}
+			}
+		}
+	}
+
+	as := arbitrated.ArbiterStats()
+	hot, cold := as.Tenants["hot"], as.Tenants["cold"]
+	if as.Moves == 0 {
+		t.Fatal("arbiter never moved a page")
+	}
+	if cold.TargetBytes != floor {
+		t.Errorf("cold target = %d, want the %d reserved floor", cold.TargetBytes, floor)
+	}
+	if hot.TargetBytes != 2*partition-floor {
+		t.Errorf("hot target = %d, want %d (everything above cold's floor)", hot.TargetBytes, 2*partition-floor)
+	}
+	if !hot.Arbitrated || !cold.Arbitrated {
+		t.Error("memshare tenants not marked arbitrated in stats")
+	}
+	if hits[arbitrated] <= hits[static] {
+		t.Errorf("arbitrated store scored %d hits, static twin %d — memshare must beat the equal split",
+			hits[arbitrated], hits[static])
+	}
+	t.Logf("moves=%d hot=%dMiB cold=%dMiB hits: arbitrated=%d static=%d (+%d)",
+		as.Moves, hot.TargetBytes>>20, cold.TargetBytes>>20,
+		hits[arbitrated], hits[static], hits[arbitrated]-hits[static])
+}

@@ -38,6 +38,10 @@ type Config struct {
 	// Now supplies the expiry clock in unix seconds; nil uses time.Now.
 	// Tests stub it to drive TTL expiry deterministically.
 	Now func() int64
+	// Arbiter configures cross-tenant Memshare arbitration (arbiter.go).
+	// A positive Interval starts the background tick loop; with Interval
+	// zero the arbiter only runs when ArbiterTick is called explicitly.
+	Arbiter ArbiterConfig
 }
 
 // defaultValueShards is the per-tenant lock stripe count: enough that a
@@ -65,6 +69,13 @@ type Store struct {
 	// teardowns tracks the asynchronous drains of deleted tenants; Close
 	// waits for them so no teardown goroutine outlives the store.
 	teardowns sync.WaitGroup
+
+	// arb is the cross-tenant Memshare arbiter's decision engine, guarded
+	// by arbMu; arbStop/arbDone bound the optional background tick loop.
+	arbMu   sync.Mutex
+	arb     *ArbiterState
+	arbStop chan struct{}
+	arbDone chan struct{}
 }
 
 // item is one entry of the per-shard metadata directory: the value plus the
@@ -435,6 +446,12 @@ func New(cfg Config) *Store {
 	s := &Store{cfg: cfg, pa: newPageAllocator(cfg.Geometry.PageSize)}
 	empty := make(map[string]*tenantEntry)
 	s.tenants.Store(&empty)
+	s.arb = NewArbiterState(cfg.Arbiter, s.pa.pageSize)
+	if cfg.Arbiter.Interval > 0 {
+		s.arbStop = make(chan struct{})
+		s.arbDone = make(chan struct{})
+		go s.arbiterLoop(cfg.Arbiter.Interval)
+	}
 	return s
 }
 
@@ -1388,6 +1405,7 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.stopArbiter()
 	for _, e := range *s.tenants.Load() {
 		e.bk.close()
 	}

@@ -3,16 +3,17 @@
 // per-application memory reservations, per-slab-class LRU queues, and a
 // pluggable memory-allocation policy — the default first-come-first-serve
 // page allocation, a static (solver-provided) allocation, a global LRU
-// (log-structured-memory-like) layout, or Cliffhanger.
+// (log-structured-memory-like) layout, Cliffhanger, or Memshare (Cliffhanger
+// within each tenant plus cross-tenant arbitration).
 //
 // The engine is split in three layers:
 //
-//   - Tenant (this file) tracks one application's cache *structure* — which
-//     keys are resident in which slab class and how memory is divided —
-//     without holding values. It is single-threaded by design: the
-//     trace-driven simulator (internal/sim) drives Tenants directly so that
-//     replaying hundreds of millions of requests is deterministic and does
-//     not require materializing values.
+//   - Tenant (this file, with the per-mode behavior in policy.go) tracks one
+//     application's cache *structure* — which keys are resident in which
+//     slab class and how memory is divided — without holding values. It is
+//     single-threaded by design: the trace-driven simulator (internal/sim)
+//     drives Tenants directly so that replaying hundreds of millions of
+//     requests is deterministic and does not require materializing values.
 //
 //   - Store (store.go) is the data plane the network server runs on. Each
 //     tenant's values live in an N-way key-hash-sharded table with striped
@@ -73,6 +74,13 @@ const (
 	// regardless of size, emulating a log-structured memory cache at 100%
 	// utilization (Table 2).
 	AllocGlobalLRU
+	// AllocMemshare runs Cliffhanger within each tenant and additionally
+	// opts the tenant into the store's cross-tenant arbiter (arbiter.go),
+	// which ranks tenants by marginal hit rate per byte — the shadow-queue
+	// credit signal — and moves pages from the lowest-ranked tenant to the
+	// highest, never shrinking one below its reserved floor (Memshare,
+	// Cidon et al.).
+	AllocMemshare
 )
 
 // String names the allocation mode.
@@ -86,6 +94,8 @@ func (m AllocationMode) String() string {
 		return "static"
 	case AllocGlobalLRU:
 		return "global-lru"
+	case AllocMemshare:
+		return "memshare"
 	default:
 		return "unknown"
 	}
@@ -104,11 +114,19 @@ type TenantConfig struct {
 	// Policy selects the eviction policy for the per-class queues in the
 	// non-Cliffhanger modes (LRU, LFU, ARC, Facebook mid-point insertion).
 	Policy cache.PolicyKind
-	// Cliffhanger configures the AllocCliffhanger mode.
+	// Cliffhanger configures the AllocCliffhanger and AllocMemshare modes.
 	Cliffhanger core.Config
 	// StaticClassBytes gives fixed per-class budgets for AllocStatic,
 	// indexed by slab class. Classes without an entry get a minimal budget.
 	StaticClassBytes map[int]int64
+	// ReservedBytes is the floor below which the cross-tenant arbiter never
+	// shrinks this tenant — Memshare's reserved memory, with the remainder
+	// of the reservation pooled. Zero defaults to half the reservation for
+	// AllocMemshare tenants; other modes are never arbitrated, so the value
+	// is informational there. It extends core.Config.MinQueueBytes one
+	// level up: MinQueueBytes floors a queue within a tenant, ReservedBytes
+	// floors the tenant within the server.
+	ReservedBytes int64
 }
 
 // ClassStats reports per-slab-class counters.
@@ -151,23 +169,20 @@ func (s TenantStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// Tenant tracks one application's cache structure. It is not safe for
-// concurrent use; in the Store each tenant's bookkeeper serializes access,
-// and the simulator drives it from a single goroutine.
+// Tenant tracks one application's cache structure. The mode-specific
+// behavior — how memory is divided, grown and charged — lives in the
+// partitionPolicy (policy.go); the Tenant owns the mode-independent
+// counters. It is not safe for concurrent use; in the Store each tenant's
+// bookkeeper serializes access, and the simulator drives it from a single
+// goroutine.
 type Tenant struct {
-	cfg  TenantConfig
-	geom *slab.Geometry
+	cfg    TenantConfig
+	geom   *slab.Geometry
+	policy partitionPolicy
 
-	// Default / static / global-LRU state.
-	alloc   *slab.Allocator
-	classes []cache.Policy // per slab class (or a single queue for global LRU)
-
-	// Cliffhanger state.
-	manager *core.Manager
-
-	// classIDs caches the per-class queue ID strings ("class0", "class1",
-	// ...) so the hot paths never format one per access.
-	classIDs []string
+	// reserved is the arbiter floor, fixed at construction (the reservation
+	// itself changes as the tenant is resized).
+	reserved int64
 
 	// Counters.
 	requests, hits, misses, sets, deletes, expired int64
@@ -186,64 +201,29 @@ func NewTenant(cfg TenantConfig) (*Tenant, error) {
 	}
 	t := &Tenant{cfg: cfg, geom: geom}
 	n := geom.NumClasses()
-	t.classIDs = make([]string, n)
-	for c := 0; c < n; c++ {
-		t.classIDs[c] = classQueueID(c)
-	}
 	t.classReq = make([]int64, n)
 	t.classHit = make([]int64, n)
 	t.classMiss = make([]int64, n)
 	t.classEvict = make([]int64, n)
 
-	switch cfg.Mode {
-	case AllocCliffhanger:
-		// Cliffhanger starts from the same first-come-first-serve page
-		// allocation as stock Memcached (each queue begins near zero and
-		// grows by grabbing free pages on demand) and then incrementally
-		// reassigns memory between the class queues — exactly how the
-		// paper's prototype layers the algorithm on top of memcached's slab
-		// allocator. Every queue therefore starts at the manager's minimum
-		// size, and growIfNeeded hands out pages until they run out.
-		specs := make([]core.QueueSpec, 0, n)
-		for c := 0; c < n; c++ {
-			specs = append(specs, core.QueueSpec{
-				ID:              classQueueID(c),
-				UnitCost:        geom.ChunkSize(c),
-				InitialCapacity: 1, // clamped up to the configured minimum
-			})
-		}
-		m, err := core.NewManager(cfg.Cliffhanger, cfg.MemoryBytes, specs)
-		if err != nil {
-			return nil, fmt.Errorf("store: tenant %q: %v", cfg.Name, err)
-		}
-		t.manager = m
-		t.alloc = slab.NewAllocator(geom, cfg.MemoryBytes)
-	case AllocGlobalLRU:
-		t.classes = []cache.Policy{cache.NewPolicy(cfg.Policy, cfg.MemoryBytes)}
-	case AllocStatic:
-		t.classes = make([]cache.Policy, n)
-		for c := 0; c < n; c++ {
-			budget := cfg.StaticClassBytes[c]
-			if budget <= 0 {
-				budget = geom.ChunkSize(c) // room for at least one item
-			}
-			t.classes[c] = cache.NewPolicy(cfg.Policy, budget)
-		}
-	default: // AllocDefault
-		t.alloc = slab.NewAllocator(geom, cfg.MemoryBytes)
-		t.classes = make([]cache.Policy, n)
-		for c := 0; c < n; c++ {
-			t.classes[c] = cache.NewPolicy(cfg.Policy, 0)
-		}
+	t.reserved = cfg.ReservedBytes
+	if t.reserved <= 0 && cfg.Mode == AllocMemshare {
+		t.reserved = cfg.MemoryBytes / 2
 	}
+	if t.reserved > cfg.MemoryBytes {
+		return nil, fmt.Errorf("store: tenant %q reserved floor %d exceeds its %d-byte reservation",
+			cfg.Name, t.reserved, cfg.MemoryBytes)
+	}
+
+	p, err := newPartitionPolicy(cfg, geom)
+	if err != nil {
+		return nil, fmt.Errorf("store: tenant %q: %v", cfg.Name, err)
+	}
+	t.policy = p
 	return t, nil
 }
 
 func classQueueID(class int) string { return fmt.Sprintf("class%d", class) }
-
-// classID returns the cached queue ID of class (no formatting on the hot
-// path).
-func (t *Tenant) classID(class int) string { return t.classIDs[class] }
 
 // Name returns the tenant's name.
 func (t *Tenant) Name() string { return t.cfg.Name }
@@ -254,38 +234,50 @@ func (t *Tenant) Mode() AllocationMode { return t.cfg.Mode }
 // MemoryBytes returns the tenant's reservation.
 func (t *Tenant) MemoryBytes() int64 { return t.cfg.MemoryBytes }
 
-// Manager exposes the Cliffhanger manager (nil in other modes); used by the
-// experiment harness to snapshot per-class capacities over time (Figure 8).
-func (t *Tenant) Manager() *core.Manager { return t.manager }
+// ReservedBytes returns the arbiter floor: the part of the original
+// reservation cross-tenant arbitration can never take away. Zero for modes
+// the arbiter does not manage (unless the config set one explicitly).
+func (t *Tenant) ReservedBytes() int64 { return t.reserved }
+
+// ShadowBytes returns the capacity of the tenant's hill-climbing shadow
+// queues after config defaulting — the denominator that converts the
+// shadow-hit count into the marginal hit-rate-per-byte estimate the arbiter
+// ranks tenants by.
+func (t *Tenant) ShadowBytes() int64 {
+	if sb := t.cfg.Cliffhanger.ShadowBytes; sb > 0 {
+		return sb
+	}
+	return core.DefaultConfig().ShadowBytes
+}
+
+// Hits returns the tenant's cumulative lookup hits — the cheap counter
+// behind Stats().Hits. The arbiter differences it into a per-tick realized
+// hit rate, whose per-byte density bounds what shrinking the tenant can
+// cost (for a concave hit curve the coldest step of memory serves at most
+// the average hits-per-byte).
+func (t *Tenant) Hits() int64 { return t.hits }
+
+// Manager exposes the Cliffhanger manager (nil in unmanaged modes); used by
+// the experiment harness to snapshot per-class capacities over time
+// (Figure 8) and by the arbiter to read the shadow-queue credit signal.
+func (t *Tenant) Manager() *core.Manager { return t.policy.manager() }
 
 // ClassFor returns the slab class for an item of the given size.
 func (t *Tenant) ClassFor(size int64) (int, bool) {
-	if t.cfg.Mode == AllocGlobalLRU {
-		return 0, true
-	}
-	return t.geom.ClassFor(size)
+	return t.policy.classFor(size)
 }
 
 // cost returns the cost charged for an item of the given size in the given
 // class: the full chunk size in slab modes (Memcached's real memory
 // accounting) and the exact item size under the global-LRU layout.
 func (t *Tenant) cost(class int, size int64) int64 {
-	if t.cfg.Mode == AllocGlobalLRU {
-		if size <= 0 {
-			return 1
-		}
-		return size
-	}
-	return t.geom.ChunkSize(class)
+	return t.policy.cost(class, size)
 }
 
 // resident reports whether key is currently tracked by the class's policy
 // structure, without promoting it or touching any counters.
 func (t *Tenant) resident(class int, key string) bool {
-	if t.manager != nil {
-		return t.manager.Contains(t.classID(class), key)
-	}
-	return t.queueFor(class).Contains(key)
+	return t.policy.resident(class, key)
 }
 
 // Lookup performs the GET path: it reports whether key is resident and
@@ -301,13 +293,8 @@ func (t *Tenant) Lookup(key string, size int64) bool {
 	hit := false
 	// Policies couple lookup and fill; only touch the structure when the key
 	// is already resident so a GET miss does not admit it.
-	if t.resident(class, key) {
-		if t.manager != nil {
-			out, _ := t.manager.Access(t.classID(class), key, t.cost(class, size))
-			hit = out.Hit
-		} else {
-			hit, _ = t.queueFor(class).Access(key, t.cost(class, size))
-		}
+	if t.policy.resident(class, key) {
+		hit = t.policy.promote(class, key, t.cost(class, size))
 	}
 	if hit {
 		t.hits++
@@ -332,7 +319,7 @@ func (t *Tenant) LookupTransient(key string, size int64) bool {
 	if !ok {
 		return false
 	}
-	if t.resident(class, key) {
+	if t.policy.resident(class, key) {
 		return t.Lookup(strings.Clone(key), size)
 	}
 	t.requests++
@@ -350,17 +337,7 @@ func (t *Tenant) Admit(key string, size int64) []cache.Victim {
 		return []cache.Victim{{Key: key, Cost: size}}
 	}
 	t.sets++
-	cost := t.cost(class, size)
-	var victims []cache.Victim
-	if t.manager != nil {
-		victims = t.growManagedIfNeeded(class, cost)
-		out, _ := t.manager.Access(t.classID(class), key, cost)
-		victims = append(victims, out.Evicted...)
-	} else {
-		q := t.queueFor(class)
-		t.growIfNeeded(class, q, cost)
-		_, victims = q.Access(key, cost)
-	}
+	_, victims := t.policy.admit(class, key, t.cost(class, size))
 	t.classEvict[class] += evictedOthers(key, victims)
 	return victims
 }
@@ -390,16 +367,8 @@ func (t *Tenant) Touch(key string, size int64) bool {
 	}
 	t.touches++
 	hit := false
-	if t.manager != nil {
-		if t.manager.Contains(t.classID(class), key) {
-			out, _ := t.manager.Access(t.classID(class), key, t.cost(class, size))
-			hit = out.Hit
-		}
-	} else {
-		q := t.queueFor(class)
-		if q.Contains(key) {
-			hit, _ = q.Access(key, t.cost(class, size))
-		}
+	if t.policy.resident(class, key) {
+		hit = t.policy.promote(class, key, t.cost(class, size))
 	}
 	if hit {
 		t.touchHits++
@@ -435,61 +404,7 @@ func (t *Tenant) Resize(newBytes int64) []cache.Victim {
 	}
 	old := t.cfg.MemoryBytes
 	t.cfg.MemoryBytes = newBytes
-	switch t.cfg.Mode {
-	case AllocGlobalLRU:
-		return t.classes[0].Resize(newBytes)
-	case AllocStatic:
-		// Static budgets have no free pool to mediate; scale every class
-		// proportionally, keeping room for at least one item each.
-		var victims []cache.Victim
-		for c, q := range t.classes {
-			nb := int64(float64(q.Capacity()) * float64(newBytes) / float64(old))
-			if nb < t.geom.ChunkSize(c) {
-				nb = t.geom.ChunkSize(c)
-			}
-			victims = append(victims, q.Resize(nb)...)
-		}
-		return victims
-	case AllocCliffhanger:
-		victims := t.manager.Resize(newBytes)
-		t.alloc.SetBudget(newBytes)
-		// Re-sync the page gate with the clawed-back capacities: a class
-		// should hold about ceil(capacity / pageSize) pages, and releasing
-		// the excess restores FreePages ⇔ (budget - CapacitySum) so future
-		// growth is gated correctly.
-		for c := 0; c < t.geom.NumClasses(); c++ {
-			q := t.manager.Queue(t.classID(c))
-			if q == nil {
-				continue
-			}
-			wantPages := (q.Capacity() + t.geom.PageSize - 1) / t.geom.PageSize
-			for t.alloc.PagesOf(c) > wantPages {
-				if !t.alloc.Release(c) {
-					break
-				}
-			}
-		}
-		return victims
-	default: // AllocDefault
-		t.alloc.SetBudget(newBytes)
-		// A shrink leaves the free-page balance negative; shed pages from the
-		// largest classes (shrinking their queues to match) until it clears.
-		var victims []cache.Victim
-		for t.alloc.FreePages() < 0 {
-			best, most := -1, int64(0)
-			for c := range t.classes {
-				if p := t.alloc.PagesOf(c); p > most {
-					best, most = c, p
-				}
-			}
-			if best < 0 {
-				break
-			}
-			t.alloc.Release(best)
-			victims = append(victims, t.classes[best].Resize(t.alloc.BytesOf(best))...)
-		}
-		return victims
-	}
+	return t.policy.resize(old, newBytes)
 }
 
 // Expire removes key's structural entry after its TTL lapsed. Unlike Delete
@@ -532,21 +447,7 @@ func (t *Tenant) Access(key string, size int64) (bool, []cache.Victim) {
 	}
 	t.requests++
 	t.classReq[class]++
-	cost := t.cost(class, size)
-	var (
-		hit     bool
-		victims []cache.Victim
-	)
-	if t.manager != nil {
-		victims = t.growManagedIfNeeded(class, cost)
-		out, _ := t.manager.Access(t.classID(class), key, cost)
-		hit = out.Hit
-		victims = append(victims, out.Evicted...)
-	} else {
-		q := t.queueFor(class)
-		t.growIfNeeded(class, q, cost)
-		hit, victims = q.Access(key, cost)
-	}
+	hit, victims := t.policy.admit(class, key, t.cost(class, size))
 	if hit {
 		t.hits++
 		t.classHit[class]++
@@ -571,103 +472,19 @@ func (t *Tenant) Delete(key string, size int64) bool {
 // removeFrom drops key's structural entry from the given class queue without
 // touching any counter.
 func (t *Tenant) removeFrom(class int, key string) bool {
-	if t.manager != nil {
-		return t.manager.Remove(t.classID(class), key)
-	}
-	return t.queueFor(class).Remove(key)
-}
-
-// queueFor returns the eviction queue of the given class.
-func (t *Tenant) queueFor(class int) cache.Policy {
-	if t.cfg.Mode == AllocGlobalLRU {
-		return t.classes[0]
-	}
-	return t.classes[class]
-}
-
-// growIfNeeded implements the default first-come-first-serve page
-// allocation: when a class's queue has no room for one more item, it grabs a
-// free page if any remain and grows its queue capacity accordingly.
-func (t *Tenant) growIfNeeded(class int, q cache.Policy, cost int64) {
-	if t.alloc == nil {
-		return
-	}
-	for q.Used()+cost > q.Capacity() {
-		if !t.alloc.Grow(class) {
-			return
-		}
-		q.Resize(t.alloc.BytesOf(class))
-	}
-}
-
-// growManagedIfNeeded is the Cliffhanger-mode counterpart of growIfNeeded:
-// while free pages remain, a class queue that is out of room grows by one
-// page, exactly like stock Memcached; once the pages are exhausted, only the
-// hill-climbing credit transfers change queue sizes.
-//
-// Hill-climbing capacity changes are applied lazily (on the next miss, per
-// the paper's thrash-avoidance rule), but a page grab is applied eagerly
-// here: the admission's insert runs before the end-of-access resize, so under
-// the lazy rule a freshly granted page would not help the very item that
-// requested it — a cold queue whose chunk size exceeds MinQueueBytes bounced
-// its first admission outright, and an exactly-full queue evicted its LRU
-// entry while a free page sat already granted. Stock Memcached grows by
-// pages immediately, so the eager apply is also the faithful behavior. Any
-// victims of the applied resize are returned for the caller to drop.
-func (t *Tenant) growManagedIfNeeded(class int, cost int64) []cache.Victim {
-	if t.alloc == nil || t.manager == nil {
-		return nil
-	}
-	q := t.manager.Queue(t.classID(class))
-	if q == nil {
-		return nil
-	}
-	grew := false
-	for q.Used()+cost > q.Capacity() && t.alloc.FreePages() > 0 {
-		if !t.alloc.Grow(class) {
-			break
-		}
-		q.SetCapacity(q.Capacity() + t.geom.PageSize)
-		grew = true
-	}
-	if grew || q.AppliedCapacity() < cost {
-		return q.ForceApplyResize()
-	}
-	return nil
+	return t.policy.remove(class, key)
 }
 
 // ClassCapacities returns the current per-class capacities in bytes, keyed
 // by slab class. For global-LRU tenants the single queue is reported as
 // class 0.
 func (t *Tenant) ClassCapacities() map[int]int64 {
-	out := make(map[int]int64)
-	if t.manager != nil {
-		for c := 0; c < t.geom.NumClasses(); c++ {
-			if q := t.manager.Queue(t.classID(c)); q != nil {
-				out[c] = q.Capacity()
-			}
-		}
-		return out
-	}
-	for c, q := range t.classes {
-		out[c] = q.Capacity()
-	}
-	return out
+	return t.policy.capacities()
 }
 
 // UsedBytes returns the tenant's resident bytes.
 func (t *Tenant) UsedBytes() int64 {
-	var sum int64
-	if t.manager != nil {
-		for _, s := range t.manager.Snapshot() {
-			sum += s.Used
-		}
-		return sum
-	}
-	for _, q := range t.classes {
-		sum += q.Used()
-	}
-	return sum
+	return t.policy.usedBytes()
 }
 
 // Stats returns a snapshot of the tenant's counters.
@@ -711,33 +528,9 @@ func (t *Tenant) Stats() TenantStats {
 }
 
 func (t *Tenant) classItems() map[int]int {
-	out := make(map[int]int)
-	if t.manager != nil {
-		for c := 0; c < t.geom.NumClasses(); c++ {
-			if q := t.manager.Queue(t.classID(c)); q != nil {
-				out[c] = q.Items()
-			}
-		}
-		return out
-	}
-	for c, q := range t.classes {
-		out[c] = q.Len()
-	}
-	return out
+	return t.policy.items()
 }
 
 func (t *Tenant) classUsed() map[int]int64 {
-	out := make(map[int]int64)
-	if t.manager != nil {
-		for c := 0; c < t.geom.NumClasses(); c++ {
-			if q := t.manager.Queue(t.classID(c)); q != nil {
-				out[c] = q.Used()
-			}
-		}
-		return out
-	}
-	for c, q := range t.classes {
-		out[c] = q.Used()
-	}
-	return out
+	return t.policy.used()
 }

@@ -42,6 +42,12 @@ type VerifyConfig struct {
 	// store.AllocDefault (first-come-first-serve slab allocation), like
 	// everywhere else in the repository.
 	Mode store.AllocationMode
+	// AppMemoryOverride replaces selected apps' trace-derived memory sizes
+	// on both engines (sim.Config.AppMemoryOverride). The hit-rate benchmark
+	// uses it to model a naively provisioned cluster — every app granted the
+	// same partition — which is the operating point the memshare arbiter is
+	// meant to rescue.
+	AppMemoryOverride map[int]int64
 	// Tolerance is the largest acceptable |wire - sim| per-application
 	// hit-rate difference (default 0.02).
 	Tolerance float64
@@ -71,6 +77,10 @@ type VerifyResult struct {
 	// class — the simulator treats such items as permanent misses, and so,
 	// by construction, does the wire replay.
 	Fills, RejectedSets int64
+	// ArbiterMoves counts the wire store's cross-tenant arbiter moves
+	// (memshare mode only; zero otherwise). The sim side runs the same
+	// decision engine at the same request cadence.
+	ArbiterMoves int64
 }
 
 // OK reports whether every application matched within tolerance.
@@ -92,7 +102,7 @@ func CrossCheck(cfg VerifyConfig) (*VerifyResult, error) {
 	if wl.Apps == nil {
 		return nil, fmt.Errorf("workload: %s traces carry no tenant layout to verify against", wl.Name)
 	}
-	simCfg := sim.Config{Apps: wl.Apps, Mode: cfg.Mode}
+	simCfg := sim.Config{Apps: wl.Apps, Mode: cfg.Mode, AppMemoryOverride: cfg.AppMemoryOverride}
 	simRes, err := sim.Run(simCfg, wl.Source)
 	if err != nil {
 		return nil, err
@@ -150,10 +160,15 @@ func CrossCheck(cfg VerifyConfig) (*VerifyResult, error) {
 
 	curApp := wl.Apps[0].ID
 	var (
-		found   bool
-		keybuf  = make([]string, 1)
-		onValue = func(int, []byte, uint32, uint64, []byte) { found = true }
+		found     bool
+		keybuf    = make([]string, 1)
+		onValue   = func(int, []byte, uint32, uint64, []byte) { found = true }
+		totalGets int64
 	)
+	// In memshare mode the wire store's arbiter is driven at the same
+	// deterministic request cadence sim.Run uses, so both engines make the
+	// same sequence of cross-tenant moves.
+	arbitrated := cfg.Mode == store.AllocMemshare
 	for {
 		r, ok := wl2.Source.Next()
 		if !ok {
@@ -185,6 +200,7 @@ func CrossCheck(cfg VerifyConfig) (*VerifyResult, error) {
 				return nil, err
 			}
 			cnt.reqs++
+			totalGets++
 			if found {
 				cnt.hits++
 			} else {
@@ -194,6 +210,19 @@ func CrossCheck(cfg VerifyConfig) (*VerifyResult, error) {
 					return nil, err
 				}
 			}
+			if arbitrated && totalGets%store.DefaultArbiterEvery == 0 {
+				if st.ArbiterTick() {
+					res.ArbiterMoves++
+				}
+			}
+		}
+	}
+
+	// Arbitration moves pages between tenants through the migration state
+	// machine; prove chunk conservation held for every tenant regardless.
+	for _, app := range wl.Apps {
+		if err := st.AuditConservation(sim.TenantName(app.ID)); err != nil {
+			return nil, fmt.Errorf("workload: conservation audit after replay: %w", err)
 		}
 	}
 
