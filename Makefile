@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race4 vet fmt bench bins conformance alloccheck fuzz replay churn verify arbiter chaos drain clean
+.PHONY: build test race race4 vet fmt bench bins conformance alloccheck fuzz replay churn verify arbiter chaos drain connscale clean
 
 build:
 	$(GO) build ./...
@@ -120,6 +120,29 @@ drain: bins
 	if wait $$pid; then echo "drain: daemon exited cleanly"; else \
 		echo "drain: daemon failed to drain cleanly"; exit 1; fi; \
 	wait $$bench || true
+
+# connscale is the connection-scale smoke: hold CONNS mostly-idle
+# connections against the classic goroutine-per-connection front end and
+# then against the event-driven parked front end (-workers), a hot cohort
+# measuring p50/p99 all the while, and record both halves in
+# BENCH_conns.json. The gate on the second run requires zero failed
+# requests and >= 8x lower resident bytes per idle connection in parked
+# mode — the number the epoll front end exists for.
+CONNS ?= 10000
+CONN_RATE ?= 2000
+connscale: bins
+	@set -e; \
+	addr=127.0.0.1:13225; \
+	./bin/cliffhangerd -addr $$addr -tenants default:64 -max-conns 0 -idle-timeout 10m & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	./bin/cliffbench -addr $$addr -conns $(CONNS) -conn-rate $(CONN_RATE) -duration 3s -conns-json BENCH_conns.json; \
+	kill $$pid; wait $$pid || true; \
+	addr=127.0.0.1:13226; \
+	./bin/cliffhangerd -addr $$addr -tenants default:64 -max-conns 0 -idle-timeout 10m -workers 16 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	./bin/cliffbench -addr $$addr -conns $(CONNS) -conn-rate $(CONN_RATE) -duration 3s -conns-json BENCH_conns.json -conns-gate
 
 clean:
 	rm -rf bin

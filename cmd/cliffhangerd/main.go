@@ -49,6 +49,23 @@
 // target_bytes, marginal_hit_per_byte, arbiter_moves), in client.StatsArbiter,
 // and on each -stats-json line.
 //
+// Pass -workers to switch the front end from goroutine-per-connection to
+// the event-driven parked model: a fixed worker pool serves whichever
+// connections have bytes pending while every idle connection is parked on an
+// epoll registration — no goroutine, no buffers — until its next request
+// arrives. -conn-buffers bounds the pool of 64 KiB session buffer pairs the
+// workers lease (default = -workers), so resident memory is O(active
+// sessions) rather than O(connections) and a box can hold hundreds of
+// thousands of mostly-idle connections:
+//
+//	cliffhangerd -addr :11211 -max-conns 200000 -workers 64 -conn-buffers 64
+//
+// The front end's live state is visible in stats (and on each -stats-json
+// tick) as parked_connections, active_sessions, buffer_pool_bytes and
+// worker_count. Idle reaping, read/write deadlines and drain semantics are
+// identical in both modes; with -workers 0 (the default) the classic
+// goroutine-per-connection front end is used.
+//
 // Pass -pprof-addr to expose the net/http/pprof profiling endpoints on a
 // side HTTP listener, e.g.:
 //
@@ -97,6 +114,8 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "", "HTTP listen address for net/http/pprof profiling endpoints (empty disables)")
 
 		maxConns     = flag.Int("max-conns", 1024, "max simultaneous connections; extras are shed with SERVER_ERROR (0 = unlimited)")
+		workers      = flag.Int("workers", 0, "serve with this many event-driven workers, parking idle connections off goroutines (0 = classic goroutine per connection)")
+		connBuffers  = flag.Int("conn-buffers", 0, "bound on pooled 64 KiB session buffer pairs for -workers mode (0 = same as -workers)")
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle between commands for this long (0 disables)")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "max time to deliver one command once its first byte arrives; tears slow-loris clients (0 disables)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-write deadline toward the client; unwedges stuck-reader peers (0 disables)")
@@ -143,11 +162,18 @@ func main() {
 		IdleTimeout:   *idleTimeout,
 		ReadTimeout:   *readTimeout,
 		WriteTimeout:  *writeTimeout,
+		Workers:       *workers,
+		ConnBuffers:   *connBuffers,
 	}, st)
 	if err := srv.Start(); err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("listening on %s (max-conns %d, idle-timeout %v)", srv.Addr(), *maxConns, *idleTimeout)
+	if *workers > 0 {
+		logger.Printf("listening on %s (max-conns %d, idle-timeout %v, %d event-driven workers)",
+			srv.Addr(), *maxConns, *idleTimeout, *workers)
+	} else {
+		logger.Printf("listening on %s (max-conns %d, idle-timeout %v)", srv.Addr(), *maxConns, *idleTimeout)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -233,6 +259,15 @@ type statsTick struct {
 	GetP99Us  int64     `json:"get_p99_us"`
 	SetP99Us  int64     `json:"set_p99_us"`
 	Pool      poolStats `json:"page_pool"`
+	// The connection front end per tick: how many connections exist, how
+	// many are parked off goroutines versus actively holding a session, the
+	// bytes resident in the bounded session-buffer pool, and the worker
+	// count (zero in classic goroutine-per-connection mode).
+	CurrConnections   int64 `json:"curr_connections"`
+	ParkedConnections int64 `json:"parked_connections"`
+	ActiveSessions    int64 `json:"active_sessions"`
+	BufferPoolBytes   int64 `json:"buffer_pool_bytes"`
+	WorkerCount       int64 `json:"worker_count"`
 	// ArbiterMoves/ArbiterLastMove expose the memshare arbiter's cumulative
 	// decision count and most recent transfer (zero/empty outside memshare
 	// mode), so a stats-json trail shows when memory moved between tenants.
@@ -272,14 +307,20 @@ func logStats(logger *log.Logger, srv *server.Server, st *store.Store, interval 
 		var arenaBytes, arenaUsed, arenaTotal int64
 		ps := st.PageStats()
 		as := st.ArbiterStats()
+		cs := srv.ConnStats()
 		tick := statsTick{
-			TS:              time.Now().UTC().Format(time.RFC3339Nano),
-			OpsPerSec:       srv.Ops.Rate(),
-			GetP99Us:        srv.GetLatency.Quantile(0.99).Microseconds(),
-			SetP99Us:        srv.SetLatency.Quantile(0.99).Microseconds(),
-			Pool:            poolStats{TotalPages: ps.TotalPages, FreePages: ps.FreePages},
-			ArbiterMoves:    as.Moves,
-			ArbiterLastMove: as.LastMove,
+			TS:                time.Now().UTC().Format(time.RFC3339Nano),
+			OpsPerSec:         srv.Ops.Rate(),
+			GetP99Us:          srv.GetLatency.Quantile(0.99).Microseconds(),
+			SetP99Us:          srv.SetLatency.Quantile(0.99).Microseconds(),
+			Pool:              poolStats{TotalPages: ps.TotalPages, FreePages: ps.FreePages},
+			ArbiterMoves:      as.Moves,
+			ArbiterLastMove:   as.LastMove,
+			CurrConnections:   cs.CurrConnections,
+			ParkedConnections: cs.ParkedConnections,
+			ActiveSessions:    cs.ActiveSessions,
+			BufferPoolBytes:   cs.BufferPoolBytes,
+			WorkerCount:       cs.WorkerCount,
 		}
 		for _, name := range st.Tenants() {
 			s, err := st.Stats(name)

@@ -890,6 +890,58 @@ func (c *Client) StatsArbiter() (*ArbiterStats, error) {
 	return out, nil
 }
 
+// ConnStats is the connection-front-end slice of the general "stats"
+// response, parsed into integers: the classic connection counters plus the
+// event-driven front end's gauges (how many connections are parked off
+// goroutines, how many workers are busy in a session, how many bytes the
+// bounded session-buffer pool holds, and the worker count). MemInuseBytes is
+// the server's heap+stack in-use total, the numerator of the bytes-per-
+// connection figure the conns benchmark reports.
+type ConnStats struct {
+	CurrConnections     int64
+	TotalConnections    int64
+	RejectedConnections int64
+	ConnTimeouts        int64
+	ConnPanics          int64
+	ParkedConnections   int64
+	ActiveSessions      int64
+	BufferPoolBytes     int64
+	WorkerCount         int64
+	MemInuseBytes       int64
+}
+
+// StatsConns fetches "stats" and parses the connection and front-end
+// counters. Polling it is how an operator (or the conns benchmark) watches
+// per-connection memory and park/wake behaviour live.
+func (c *Client) StatsConns() (*ConnStats, error) {
+	raw, err := c.statsCmd("stats")
+	if err != nil {
+		return nil, err
+	}
+	out := &ConnStats{}
+	for key, dst := range map[string]*int64{
+		"curr_connections":     &out.CurrConnections,
+		"total_connections":    &out.TotalConnections,
+		"rejected_connections": &out.RejectedConnections,
+		"conn_timeouts":        &out.ConnTimeouts,
+		"conn_panics":          &out.ConnPanics,
+		"parked_connections":   &out.ParkedConnections,
+		"active_sessions":      &out.ActiveSessions,
+		"buffer_pool_bytes":    &out.BufferPoolBytes,
+		"worker_count":         &out.WorkerCount,
+		"mem_inuse_bytes":      &out.MemInuseBytes,
+	} {
+		v, ok := raw[key]
+		if !ok {
+			return nil, fmt.Errorf("client: stats response missing %s", key)
+		}
+		if *dst, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return nil, fmt.Errorf("client: stats %s = %q: %v", key, v, err)
+		}
+	}
+	return out, nil
+}
+
 func (c *Client) statsCmd(cmd string) (map[string]string, error) {
 	var stats map[string]string
 	err := c.retry(cmd, func() error {

@@ -1,0 +1,77 @@
+// Package netpoll is a minimal readiness notifier for parked connections.
+// The server hands it a connection's syscall.RawConn plus an opaque token;
+// when the peer sends data (or half-closes), the poller calls the onReady
+// callback with that token and disarms the registration until Arm re-arms it
+// (one-shot semantics, so a wake is delivered exactly once per park and the
+// poller never races the worker that is busy serving the connection).
+//
+// On Linux the implementation is a raw epoll instance (EPOLLIN|EPOLLRDHUP,
+// EPOLLONESHOT) driven by one event-loop goroutine, so a parked connection
+// costs one epoll registration and zero goroutines. Everywhere else — and on
+// Linux for tests, via NewPortable — a goroutine-backed fallback blocks each
+// registration in RawConn.Read's readiness wait; it is O(goroutines) again
+// but keeps the package and its callers building and testable on any
+// platform.
+//
+// Contract with the caller:
+//   - Add registers and arms in one step; Arm re-arms after a delivered wake.
+//   - onReady runs on the poller's own goroutine(s): keep it tiny and
+//     non-blocking, and be prepared for a late call racing Remove/Close —
+//     the caller's own state machine must make stale wakes harmless.
+//   - Remove before closing the connection when possible; a registration
+//     whose fd is closed underneath it is cleaned up by the kernel (epoll)
+//     or by the watcher observing the close (fallback), but Remove keeps the
+//     poller's table exact.
+//   - Close requires every registered connection to be either removed or
+//     closed first; the fallback poller's watcher goroutines park inside the
+//     runtime's own read-readiness wait and only a close unblocks them.
+package netpoll
+
+import (
+	"errors"
+	"syscall"
+	"time"
+)
+
+// Poller delivers one readiness event per armed registration.
+type Poller interface {
+	// Add registers the connection under token and arms it for one
+	// readiness event.
+	Add(rc syscall.RawConn, token uint64) error
+	// Arm re-arms a registration after its event was delivered. Pending
+	// data counts: if bytes arrived between the wake and the re-arm, the
+	// event fires again immediately (level-triggered).
+	Arm(token uint64) error
+	// Remove unregisters the token. A wake already in flight may still be
+	// delivered.
+	Remove(token uint64) error
+	// Close stops the poller and releases its resources.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed poller.
+var ErrClosed = errors.New("netpoll: poller closed")
+
+// ReadWaiter is a reusable bounded wait for readability on one fd at a time
+// — the primitive behind the server's park linger. Unlike Poller it is
+// synchronous: Wait blocks the caller (in the kernel on Linux) until the fd
+// has pending bytes, EOF, or an error, or the timeout passes, and allocates
+// nothing either way. A waiter is single-threaded: one Wait at a time.
+type ReadWaiter interface {
+	// Wait reports whether fd became readable within timeout.
+	Wait(fd uintptr, timeout time.Duration) bool
+	// Close releases the waiter's resources.
+	Close() error
+}
+
+// New builds the platform poller: epoll on Linux, the goroutine-backed
+// fallback elsewhere.
+func New(onReady func(token uint64)) (Poller, error) {
+	return newPlatformPoller(onReady)
+}
+
+// NewPortable builds the goroutine-backed fallback poller on any platform.
+// It exists so the fallback stays covered by tests that run on Linux.
+func NewPortable(onReady func(token uint64)) Poller {
+	return newGoPoller(onReady)
+}

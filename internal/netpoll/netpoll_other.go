@@ -1,0 +1,9 @@
+//go:build !linux
+
+package netpoll
+
+// Platforms without the epoll implementation fall back to the goroutine-backed
+// poller, trading the O(1)-goroutine property for portability.
+func newPlatformPoller(onReady func(uint64)) (Poller, error) {
+	return newGoPoller(onReady), nil
+}

@@ -1,0 +1,65 @@
+//go:build linux
+
+package netpoll
+
+import (
+	"syscall"
+	"time"
+)
+
+// ReadWaiter on Linux is a private single-fd epoll instance. Wait blocks the
+// calling OS thread in epoll_wait — not a goroutine spin — so on a saturated
+// GOMAXPROCS the runtime hands the P to the goroutines that will produce the
+// awaited bytes (the scheduler reclaims a P from a thread blocked in a
+// syscall). epoll rather than select because fd numbers above FD_SETSIZE
+// must work, and rather than poll/ppoll because the syscall package does not
+// export them.
+type readWaiter struct {
+	epfd int
+	ev   [1]syscall.EpollEvent
+}
+
+// NewReadWaiter builds a waiter. Callers own Close.
+func NewReadWaiter() (ReadWaiter, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	return &readWaiter{epfd: epfd}, nil
+}
+
+// Wait reports whether fd became readable (bytes, EOF, or error) within
+// timeout. It allocates nothing. epoll_wait has millisecond granularity, so
+// sub-millisecond timeouts round up to one millisecond.
+func (w *readWaiter) Wait(fd uintptr, timeout time.Duration) bool {
+	// The cheap probe first: on a busy connection the next batch is already
+	// in the socket buffer and no epoll round trip is needed.
+	if DataPending(fd) {
+		return true
+	}
+	w.ev[0] = syscall.EpollEvent{
+		Events: uint32(syscall.EPOLLIN | syscall.EPOLLRDHUP),
+		Fd:     int32(fd),
+	}
+	if err := syscall.EpollCtl(w.epfd, syscall.EPOLL_CTL_ADD, int(fd), &w.ev[0]); err != nil {
+		// Unpollable or raced a close; report readable so the caller's own
+		// read surfaces the real story.
+		return true
+	}
+	defer syscall.EpollCtl(w.epfd, syscall.EPOLL_CTL_DEL, int(fd), nil)
+	msec := int(timeout / time.Millisecond)
+	if msec <= 0 {
+		msec = 1
+	}
+	for {
+		n, err := syscall.EpollWait(w.epfd, w.ev[:], msec)
+		if err == syscall.EINTR {
+			continue
+		}
+		return err == nil && n > 0
+	}
+}
+
+func (w *readWaiter) Close() error {
+	return syscall.Close(w.epfd)
+}

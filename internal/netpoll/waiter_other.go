@@ -1,0 +1,30 @@
+//go:build !linux
+
+package netpoll
+
+import "time"
+
+// readWaiter on non-Linux platforms is a peek-and-sleep loop: portable, and
+// the short sleeps keep the runtime netpoller scheduled so the goroutines
+// producing the awaited bytes make progress even at GOMAXPROCS=1.
+type readWaiter struct{}
+
+// NewReadWaiter builds a waiter. Callers own Close.
+func NewReadWaiter() (ReadWaiter, error) {
+	return readWaiter{}, nil
+}
+
+func (readWaiter) Wait(fd uintptr, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if DataPending(fd) {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func (readWaiter) Close() error { return nil }

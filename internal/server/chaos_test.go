@@ -82,6 +82,18 @@ func waitCond(t *testing.T, cond func() bool, what string) {
 	}
 }
 
+// chaosModes runs a chaos scenario against both front ends: the classic
+// goroutine-per-connection model and the event-driven parked model, so every
+// fault shape (RST, slow-loris, half-close, storm, drain) is proven
+// survivable on the polled path too. The scenario receives the mode's base
+// Config and layers its own governor settings on top.
+func chaosModes(t *testing.T, scenario func(t *testing.T, mode Config)) {
+	t.Run("classic", func(t *testing.T) { scenario(t, Config{}) })
+	t.Run("parked", func(t *testing.T) {
+		scenario(t, Config{Workers: 4, ParkLinger: 200 * time.Microsecond})
+	})
+}
+
 // TestChaosStormHealthyCohort is the headline acceptance test: a chaotic
 // cohort hammers the server through a fault-injecting proxy (latency,
 // single-digit-byte partial writes, connections torn mid-payload by a byte
@@ -90,13 +102,16 @@ func waitCond(t *testing.T, cond func() bool, what string) {
 // neither panic nor leak goroutines, and the arena conservation audit must
 // balance to the byte afterwards.
 func TestChaosStormHealthyCohort(t *testing.T) {
+	chaosModes(t, chaosStormHealthyCohort)
+}
+
+func chaosStormHealthyCohort(t *testing.T, mode Config) {
 	baseline := runtime.NumGoroutine()
-	srv, st := startGovernedServer(t, Config{
-		MaxConns:     128,
-		IdleTimeout:  2 * time.Second,
-		ReadTimeout:  2 * time.Second,
-		WriteTimeout: 2 * time.Second,
-	})
+	mode.MaxConns = 128
+	mode.IdleTimeout = 2 * time.Second
+	mode.ReadTimeout = 2 * time.Second
+	mode.WriteTimeout = 2 * time.Second
+	srv, st := startGovernedServer(t, mode)
 
 	proxy := chaos.New(chaos.Config{
 		Target:          srv.Addr(),
@@ -208,11 +223,14 @@ const tornStorageCommand = "set tornkey 0 0 5\r\nhello\r\n"
 // writing the prefix and slamming the connection shut with an RST. The
 // server must survive every one of them and keep serving.
 func TestChaosTornStorageEveryByteBoundary(t *testing.T) {
+	chaosModes(t, chaosTornStorageEveryByteBoundary)
+}
+
+func chaosTornStorageEveryByteBoundary(t *testing.T, mode Config) {
 	baseline := runtime.NumGoroutine()
-	srv, st := startGovernedServer(t, Config{
-		IdleTimeout: time.Second,
-		ReadTimeout: time.Second,
-	})
+	mode.IdleTimeout = time.Second
+	mode.ReadTimeout = time.Second
+	srv, st := startGovernedServer(t, mode)
 
 	for i := 0; i < len(tornStorageCommand); i++ {
 		conn, err := net.Dial("tcp", srv.Addr())
@@ -256,10 +274,13 @@ func TestChaosTornStorageEveryByteBoundary(t *testing.T) {
 // tear (partial data block forwarded, then RST) is as survivable as the raw
 // one.
 func TestChaosTornMidPayloadViaProxy(t *testing.T) {
-	srv, _ := startGovernedServer(t, Config{
-		IdleTimeout: time.Second,
-		ReadTimeout: time.Second,
-	})
+	chaosModes(t, chaosTornMidPayloadViaProxy)
+}
+
+func chaosTornMidPayloadViaProxy(t *testing.T, mode Config) {
+	mode.IdleTimeout = time.Second
+	mode.ReadTimeout = time.Second
+	srv, _ := startGovernedServer(t, mode)
 
 	// Budgets chosen to tear inside the header, at the header/payload seam,
 	// and inside the data block.
@@ -295,11 +316,14 @@ func TestChaosTornMidPayloadViaProxy(t *testing.T) {
 // inside any per-read window — is torn down once the whole command overruns
 // ReadTimeout, freeing the session goroutine and counting a conn timeout.
 func TestChaosSlowLoris(t *testing.T) {
+	chaosModes(t, chaosSlowLoris)
+}
+
+func chaosSlowLoris(t *testing.T, mode Config) {
 	baseline := runtime.NumGoroutine()
-	srv, st := startGovernedServer(t, Config{
-		IdleTimeout: 5 * time.Second,
-		ReadTimeout: 300 * time.Millisecond,
-	})
+	mode.IdleTimeout = 5 * time.Second
+	mode.ReadTimeout = 300 * time.Millisecond
+	srv, st := startGovernedServer(t, mode)
 
 	conn, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
@@ -338,7 +362,12 @@ func TestChaosSlowLoris(t *testing.T) {
 // TestChaosIdleTimeout proves a connection that completes a command and then
 // goes silent is reaped by the idle deadline (and only then).
 func TestChaosIdleTimeout(t *testing.T) {
-	srv, _ := startGovernedServer(t, Config{IdleTimeout: 250 * time.Millisecond})
+	chaosModes(t, chaosIdleTimeout)
+}
+
+func chaosIdleTimeout(t *testing.T, mode Config) {
+	mode.IdleTimeout = 250 * time.Millisecond
+	srv, _ := startGovernedServer(t, mode)
 
 	conn, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
@@ -369,7 +398,13 @@ func TestChaosIdleTimeout(t *testing.T) {
 // counted, the admitted ones must keep working, and a freed slot must be
 // reusable.
 func TestChaosAcceptStormMaxConns(t *testing.T) {
-	srv, _ := startGovernedServer(t, Config{MaxConns: 2, IdleTimeout: 10 * time.Second})
+	chaosModes(t, chaosAcceptStormMaxConns)
+}
+
+func chaosAcceptStormMaxConns(t *testing.T, mode Config) {
+	mode.MaxConns = 2
+	mode.IdleTimeout = 10 * time.Second
+	srv, _ := startGovernedServer(t, mode)
 
 	// Fill both slots with round-tripped (therefore registered) sessions.
 	admitted := make([]*client.Client, 2)
@@ -426,7 +461,11 @@ func TestChaosAcceptStormMaxConns(t *testing.T) {
 // the session serving it must die alone — counted in conn_panics — while
 // the daemon and every other connection keep working.
 func TestChaosPanicRecovery(t *testing.T) {
-	srv, _ := startGovernedServer(t, Config{})
+	chaosModes(t, chaosPanicRecovery)
+}
+
+func chaosPanicRecovery(t *testing.T, mode Config) {
+	srv, _ := startGovernedServer(t, mode)
 	srv.testHookCommand = func(cmd *protocol.Command) {
 		if len(cmd.Keys) == 1 && string(cmd.Keys[0]) == "boom" {
 			panic("injected handler fault")
@@ -467,7 +506,12 @@ func TestChaosPanicRecovery(t *testing.T) {
 // the proxy's FIN-swallowing fault: the client is gone but the server never
 // sees EOF. Only the idle deadline can free the session — and it must.
 func TestChaosHalfClosedSocket(t *testing.T) {
-	srv, _ := startGovernedServer(t, Config{IdleTimeout: 300 * time.Millisecond})
+	chaosModes(t, chaosHalfClosedSocket)
+}
+
+func chaosHalfClosedSocket(t *testing.T, mode Config) {
+	mode.IdleTimeout = 300 * time.Millisecond
+	srv, _ := startGovernedServer(t, mode)
 
 	proxy := chaos.New(chaos.Config{Target: srv.Addr(), HalfClose: true})
 	if err := proxy.Start(); err != nil {
@@ -499,8 +543,13 @@ func TestChaosHalfClosedSocket(t *testing.T) {
 // response, then a clean EOF — and Shutdown returns nil well inside its
 // deadline.
 func TestChaosShutdownDrainsInFlight(t *testing.T) {
+	chaosModes(t, chaosShutdownDrainsInFlight)
+}
+
+func chaosShutdownDrainsInFlight(t *testing.T, mode Config) {
 	baseline := runtime.NumGoroutine()
-	srv, _ := startGovernedServer(t, Config{IdleTimeout: 30 * time.Second})
+	mode.IdleTimeout = 30 * time.Second
+	srv, _ := startGovernedServer(t, mode)
 
 	// Gate the first command of the batch so Shutdown provably begins while
 	// the batch is in flight: the hook signals when the session is mid-
@@ -571,8 +620,13 @@ func TestChaosShutdownDrainsInFlight(t *testing.T) {
 // command must not stall the drain — Shutdown wakes and retires them
 // immediately, without counting them as timeouts.
 func TestChaosShutdownWakesIdleConns(t *testing.T) {
+	chaosModes(t, chaosShutdownWakesIdleConns)
+}
+
+func chaosShutdownWakesIdleConns(t *testing.T, mode Config) {
 	baseline := runtime.NumGoroutine()
-	srv, _ := startGovernedServer(t, Config{IdleTimeout: time.Hour})
+	mode.IdleTimeout = time.Hour
+	srv, _ := startGovernedServer(t, mode)
 
 	conns := make([]net.Conn, 4)
 	for i := range conns {
@@ -614,8 +668,13 @@ func TestChaosShutdownWakesIdleConns(t *testing.T) {
 // that never reads cannot drain; the ctx deadline must force it closed and
 // Shutdown must report the forced exit.
 func TestChaosShutdownForcesStragglers(t *testing.T) {
+	chaosModes(t, chaosShutdownForcesStragglers)
+}
+
+func chaosShutdownForcesStragglers(t *testing.T, mode Config) {
 	baseline := runtime.NumGoroutine()
-	srv, _ := startGovernedServer(t, Config{IdleTimeout: time.Hour})
+	mode.IdleTimeout = time.Hour
+	srv, _ := startGovernedServer(t, mode)
 
 	// Store one value big enough that a deep pipelined GET overfills the
 	// socket buffers of a non-reading client, wedging the session in a write.

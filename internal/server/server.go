@@ -32,6 +32,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"cliffhanger/internal/metrics"
+	"cliffhanger/internal/netpoll"
 	"cliffhanger/internal/protocol"
 	"cliffhanger/internal/store"
 )
@@ -77,6 +79,28 @@ type Config struct {
 	// (zero-window peer) cannot pin a session goroutine and its buffered
 	// responses forever. 0 disables it.
 	WriteTimeout time.Duration
+
+	// Workers > 0 enables the event-driven front end: that many worker
+	// goroutines serve ready connections, and a connection with no pending
+	// bytes is parked — registered with an epoll-backed poller while its
+	// goroutine and 64 KiB session buffers return to their pools — so
+	// front-end memory is O(active connections) instead of O(connections).
+	// 0 keeps the classic goroutine-per-connection model.
+	Workers int
+	// ConnBuffers caps how many sessions (two 64 KiB bufio buffers each)
+	// the parked front end may materialize; workers block for a free
+	// session past the cap. 0 defaults to Workers. Ignored in classic mode.
+	ConnBuffers int
+	// ParkLinger is how long a worker waits at an empty batch boundary for
+	// the next command before parking the connection (parked mode only).
+	// 0 picks a default tuned to keep closed-loop pipelining on the
+	// blocking fast path (~200µs).
+	ParkLinger time.Duration
+
+	// now is the clock the park reaper compares idle deadlines against;
+	// tests stub it to age parked connections without sleeping. nil means
+	// time.Now.
+	now func() time.Time
 }
 
 // Server serves the memcached-style protocol over TCP.
@@ -104,6 +128,14 @@ type Server struct {
 	timeouts atomic.Int64
 	panics   atomic.Int64
 
+	// Event-driven front end (nil when cfg.Workers == 0). parked and
+	// activeSessions are gauges; parks counts lifetime park transitions
+	// (tests assert park/wake cycling actually happened).
+	pr             *parkedRuntime
+	parked         atomic.Int64
+	activeSessions atomic.Int64
+	parks          atomic.Int64
+
 	// testHookCommand, when set by a test, runs after dispatch accounting
 	// for every command. It exists so the per-connection panic recovery can
 	// be exercised without planting a bug in a real handler.
@@ -130,17 +162,36 @@ type ConnStats struct {
 	// ConnPanics counts sessions torn down by the per-connection panic
 	// recovery (each one would previously have killed the daemon).
 	ConnPanics int64
+	// ParkedConnections is the number of connections currently parked on
+	// the poller (no goroutine, no session buffers). Always 0 in classic
+	// goroutine-per-connection mode.
+	ParkedConnections int64
+	// ActiveSessions is the number of sessions currently leased to workers
+	// serving a connection.
+	ActiveSessions int64
+	// BufferPoolBytes is the session pool's buffer footprint (sessions
+	// materialized × two 64 KiB bufio buffers).
+	BufferPoolBytes int64
+	// WorkerCount is the configured worker-pool size (0 in classic mode).
+	WorkerCount int64
 }
 
 // ConnStats returns the governor's counter snapshot.
 func (s *Server) ConnStats() ConnStats {
-	return ConnStats{
+	cs := ConnStats{
 		CurrConnections:     s.curr.Load(),
 		TotalConnections:    s.total.Load(),
 		RejectedConnections: s.rejected.Load(),
 		ConnTimeouts:        s.timeouts.Load(),
 		ConnPanics:          s.panics.Load(),
+		ParkedConnections:   s.parked.Load(),
+		ActiveSessions:      s.activeSessions.Load(),
 	}
+	if s.pr != nil {
+		cs.WorkerCount = int64(s.pr.workers)
+		cs.BufferPoolBytes = s.pr.sessions.bytes()
+	}
+	return cs
 }
 
 // New creates a server for the given store.
@@ -163,6 +214,12 @@ func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
+	}
+	if s.cfg.Workers > 0 && s.pr == nil {
+		if err := s.startParkedRuntime(); err != nil {
+			ln.Close()
+			return err
+		}
 	}
 	s.mu.Lock()
 	s.listener = ln
@@ -191,6 +248,7 @@ func (s *Server) Close() error {
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.closePoller()
 		return nil
 	}
 	s.closed = true
@@ -198,11 +256,17 @@ func (s *Server) Close() error {
 	if s.listener != nil {
 		err = s.listener.Close()
 	}
+	s.mu.Unlock()
+	// Parked connections first (they have no goroutine to notice a close),
+	// then whatever is still actively served.
+	s.stopParkedRuntime()
+	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.closePoller()
 	return err
 }
 
@@ -223,10 +287,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !alreadyClosed && s.listener != nil {
 		s.listener.Close()
 	}
+	s.mu.Unlock()
+	// Parked connections sit at a command boundary with nothing buffered in
+	// either direction — every answered batch was already flushed — so
+	// closing them IS their graceful drain. Wakes already queued are still
+	// served: workers drain the ready queue before exiting.
+	s.stopParkedRuntime()
 	// Wake sessions blocked in a read: the expired deadline surfaces as a
 	// timeout, which step() treats as the drain signal (responses already
 	// queued are flushed on the way out). Sessions mid-batch notice the
 	// drain flag at their next batch boundary instead and are not torn.
+	s.mu.Lock()
 	for c := range s.conns {
 		c.SetReadDeadline(time.Now())
 	}
@@ -249,6 +320,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		<-done
 	}
+	s.closePoller()
 	s.store.Flush()
 	if err := s.store.Close(); err != nil {
 		return err
@@ -290,6 +362,12 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.mu.Unlock()
 		s.total.Add(1)
 		s.curr.Add(1)
+		if s.pr != nil {
+			// Event-driven mode: no goroutine per connection — queue it
+			// for a worker, which serves it and parks it when it idles.
+			s.admitParked(conn)
+			continue
+		}
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -329,22 +407,74 @@ type governedConn struct {
 	inCommand   bool
 	cmdDeadline time.Time
 	armed       bool
+	// linger > 0 marks the parked-mode transport: a boundary read waits
+	// only this long for the next command's first byte before giving up
+	// with errLingerExpired, which means "park me", not "close me".
+	// Long-term idleness is the park reaper's job there. The wait runs on
+	// the worker's ReadWaiter against the raw fd rather than an armed read
+	// deadline, because a deadline expiry makes the net package allocate an
+	// OpError — which would put one allocation on every park and break the
+	// park/wake alloc gate.
+	linger time.Duration
+	fd     uintptr
+	waiter netpoll.ReadWaiter
+}
+
+// errLingerExpired is the cached sentinel a boundary read returns when the
+// linger window closed with no bytes pending. It satisfies net.Error (it is
+// a timeout in spirit) so generic error handling stays honest, but step
+// matches it by identity before any such handling.
+var errLingerExpired error = lingerExpiredError{}
+
+type lingerExpiredError struct{}
+
+func (lingerExpiredError) Error() string   { return "park linger expired" }
+func (lingerExpiredError) Timeout() bool   { return true }
+func (lingerExpiredError) Temporary() bool { return true }
+
+// lingerWait blocks until the socket has pending bytes (true) or the linger
+// window closes or a drain begins (false). The waiter blocks in the kernel
+// (epoll on one fd), so the scheduler reclaims this worker's P for the
+// goroutines producing those bytes — a userspace spin here would starve an
+// in-process client at GOMAXPROCS=1 and turn every batch into a full
+// park/wake round trip.
+func (g *governedConn) lingerWait() bool {
+	if g.srv != nil && (g.srv.draining.Load() || g.srv.closing.Load()) {
+		return false
+	}
+	if g.waiter != nil {
+		return g.waiter.Wait(g.fd, g.linger)
+	}
+	return netpoll.DataPending(g.fd)
 }
 
 func (g *governedConn) Read(p []byte) (int, error) {
 	if !g.inCommand {
-		if g.idle > 0 {
+		if g.linger > 0 {
+			// Parked-mode boundary: never block in the kernel here. Either
+			// bytes are already pending (the poller woke us, or the next
+			// pipelined batch landed within the linger) and the read below
+			// returns immediately, or the connection is quiet and the
+			// caller should park it.
+			if g.armed {
+				g.Conn.SetReadDeadline(time.Time{})
+				g.armed = false
+			}
+			if !g.lingerWait() {
+				return 0, errLingerExpired
+			}
+		} else if g.idle > 0 {
 			g.Conn.SetReadDeadline(time.Now().Add(g.idle))
 			g.armed = true
-			// Shutdown wakes idle readers by expiring their deadline; if
-			// the drain began between the session's batch-boundary check
-			// and the arm above, the arm just erased the wake-up — re-expire.
-			if g.srv != nil && g.srv.draining.Load() {
-				g.Conn.SetReadDeadline(time.Now())
-			}
 		} else if g.armed {
 			g.Conn.SetReadDeadline(time.Time{})
 			g.armed = false
+		}
+		// Shutdown wakes blocked readers by expiring their deadline; if
+		// the drain began between the session's batch-boundary check and
+		// the arm above, the arm just erased the wake-up — re-expire.
+		if g.armed && g.srv != nil && g.srv.draining.Load() {
+			g.Conn.SetReadDeadline(time.Now())
 		}
 		n, err := g.Conn.Read(p)
 		if n > 0 {
@@ -385,9 +515,14 @@ type session struct {
 	parser *protocol.Parser
 	tenant string
 	// gc is the governed transport under r and w; nil for in-memory
-	// sessions (tests). step toggles its command/idle phase.
+	// sessions (tests). step toggles its command/idle phase. In parked
+	// mode gc is rebound per lease (bind/unbind in park.go).
 	gc      *governedConn
 	scratch []byte
+	// wantPark is step's signal to the worker's batch loop that the
+	// boundary linger expired with no data — park the connection instead
+	// of closing it.
+	wantPark bool
 }
 
 // newSession builds a session over the given buffered reader and writer.
@@ -430,8 +565,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		write: s.cfg.WriteTimeout,
 	}
 	c := newSession(s,
-		bufio.NewReaderSize(g, 64<<10),
-		bufio.NewWriterSize(g, 64<<10))
+		bufio.NewReaderSize(g, sessionBufSize),
+		bufio.NewWriterSize(g, sessionBufSize))
 	c.gc = g
 	for c.step() {
 	}
@@ -454,8 +589,19 @@ func (c *session) step() bool {
 		if errors.Is(err, protocol.ErrQuit) || errors.Is(err, io.EOF) {
 			return false
 		}
-		var netErr net.Error
-		if errors.As(err, &netErr) && netErr.Timeout() {
+		if errors.Is(err, errLingerExpired) {
+			// Parked mode: the boundary linger closed with no bytes pending —
+			// the connection is quiet, the parser untouched, every response
+			// flushed. Signal the worker to park it rather than close it.
+			// (During a drain the linger aborts early instead; fall through
+			// to the timeout arm below, which flushes and closes.)
+			if !c.srv.draining.Load() {
+				c.wantPark = true
+				return false
+			}
+		}
+		netErr, isNet := asNetError(err)
+		if isNet && netErr.Timeout() {
 			// A governor deadline fired — an idle connection, a slow-loris
 			// command, or the shutdown wake-up. Nothing useful can be said
 			// to the peer (it may be gone, and the parser may be mid-
@@ -482,7 +628,7 @@ func (c *session) step() bool {
 			return false
 		}
 		// Unknown commands are recoverable; IO errors are not.
-		return !errors.As(err, &netErr)
+		return !isNet
 	}
 	if err := c.srv.handle(c, cmd); err != nil {
 		c.srv.logf("server: %v", err)
@@ -500,6 +646,22 @@ func (c *session) step() bool {
 		}
 	}
 	return true
+}
+
+// asNetError is errors.As(err, &netErr) with a fast path: transport errors
+// arrive from the net package unwrapped, so a direct type assertion almost
+// always suffices. The errors.As fallback (whose target escapes, costing an
+// allocation) only runs for wrapped errors, which keeps the per-park linger
+// expiry and other hot error paths allocation-free.
+func asNetError(err error) (net.Error, bool) {
+	if ne, ok := err.(net.Error); ok {
+		return ne, true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return ne, true
+	}
+	return nil, false
 }
 
 // handle executes one command and writes its response.
@@ -763,7 +925,12 @@ func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 	// hit-rate-per-byte signal it ranks the tenant by.
 	as := s.store.ArbiterStats()
 	at := as.Tenants[c.tenant]
-	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "curr_connections", "total_connections", "rejected_connections", "conn_timeouts", "conn_panics", "arena_bytes", "arena_occupancy", "epoch_current", "epoch_quarantined_chunks", "epoch_deferred_frees", "page_pool_total", "page_pool_free", "lease_pages", "reserved_pages", "target_bytes", "marginal_hit_per_byte", "arbiter_moves"}
+	// Front-end memory accounting for the parked-connection model:
+	// heap+stack in use lets a harness compute bytes/connection directly
+	// from one stats call (mem_inuse_bytes / curr_connections).
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	order := []string{"tenant", "cmd_get", "get_hits", "get_misses", "hit_rate", "cmd_set", "cmd_touch", "touch_hits", "expired", "ops_per_sec", "curr_connections", "total_connections", "rejected_connections", "conn_timeouts", "conn_panics", "parked_connections", "active_sessions", "buffer_pool_bytes", "worker_count", "mem_inuse_bytes", "arena_bytes", "arena_occupancy", "epoch_current", "epoch_quarantined_chunks", "epoch_deferred_frees", "page_pool_total", "page_pool_free", "lease_pages", "reserved_pages", "target_bytes", "marginal_hit_per_byte", "arbiter_moves"}
 	stats := map[string]string{
 		"tenant":                   c.tenant,
 		"curr_connections":         strconv.FormatInt(cs.CurrConnections, 10),
@@ -771,6 +938,11 @@ func (s *Server) handleStats(c *session, cmd *protocol.Command) error {
 		"rejected_connections":     strconv.FormatInt(cs.RejectedConnections, 10),
 		"conn_timeouts":            strconv.FormatInt(cs.ConnTimeouts, 10),
 		"conn_panics":              strconv.FormatInt(cs.ConnPanics, 10),
+		"parked_connections":       strconv.FormatInt(cs.ParkedConnections, 10),
+		"active_sessions":          strconv.FormatInt(cs.ActiveSessions, 10),
+		"buffer_pool_bytes":        strconv.FormatInt(cs.BufferPoolBytes, 10),
+		"worker_count":             strconv.FormatInt(cs.WorkerCount, 10),
+		"mem_inuse_bytes":          strconv.FormatUint(ms.HeapInuse+ms.StackInuse, 10),
 		"cmd_get":                  strconv.FormatInt(st.Requests, 10),
 		"get_hits":                 strconv.FormatInt(st.Hits, 10),
 		"get_misses":               strconv.FormatInt(st.Misses, 10),
